@@ -1,0 +1,41 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Every benchmark regenerates one of the paper's tables/figures, prints
+it, and persists it under ``benchmarks/results/`` so the output
+survives pytest's capture. Timings are recorded with a single round —
+the interesting output is the table, not the wall time.
+
+Sizing: the full 678-loop suite runs by default (as in the paper); set
+``REPRO_BENCH_LOOPS=<n>`` for a fast deterministic subsample.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def record():
+    """Persist and echo a rendered experiment table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _record
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a figure generator exactly once under pytest-benchmark."""
+
+    def _once(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return _once

@@ -1,0 +1,70 @@
+"""Ablation: the paper's stop rule ("no over-replication is possible").
+
+Section 3 stops replicating the moment the bus fits. Is that the right
+amount? We let the replicator keep going (`spare_comms` extra removals
+beyond the stop rule) and measure: extra replication burns FU slots and
+register lifetimes for communications that were already free, so it
+should win nothing and can lose.
+"""
+
+from repro.machine.config import parse_config
+from repro.pipeline.driver import CompileError, Scheme, compile_loop
+from repro.pipeline.metrics import loop_metrics
+from repro.pipeline.report import format_table
+from repro.workloads.specfp import benchmark_loops
+
+CONFIG = "4c1b2l64r"
+BENCHES = ("tomcatv", "su2cor", "hydro2d", "wave5")
+LOOPS_PER_BENCH = 6
+SPARE_LEVELS = (0, 2, 4)
+
+
+def render_over_replication() -> tuple[str, dict[int, float]]:
+    machine = parse_config(CONFIG)
+    cycles = {level: 0 for level in SPARE_LEVELS}
+    work = {level: 0 for level in SPARE_LEVELS}
+    replicas = {level: 0 for level in SPARE_LEVELS}
+    for bench in BENCHES:
+        for loop in benchmark_loops(bench, limit=LOOPS_PER_BENCH):
+            per_level = {}
+            try:
+                for level in SPARE_LEVELS:
+                    per_level[level] = compile_loop(
+                        loop.ddg,
+                        machine,
+                        scheme=Scheme.REPLICATION,
+                        spare_comms=level,
+                    )
+            except CompileError:
+                continue
+            for level, result in per_level.items():
+                metric = loop_metrics(loop, result)
+                cycles[level] += metric.cycles
+                work[level] += metric.useful_ops
+                replicas[level] += result.plan.n_replicated_instructions
+
+    ipcs = {
+        level: (work[level] / cycles[level] if cycles[level] else 0.0)
+        for level in SPARE_LEVELS
+    }
+    rows = [
+        [f"stop rule + {level}", ipcs[level], replicas[level]]
+        for level in SPARE_LEVELS
+    ]
+    table = format_table(
+        ["scheme", "IPC", "replica instructions"],
+        rows,
+        title=f"Ablation: over-replication beyond the stop rule [{CONFIG}]",
+    )
+    return table, ipcs
+
+
+def test_over_replication(record, once):
+    table, ipcs = once(render_over_replication)
+    record("ablation_over_replication", table)
+
+    paper_rule = ipcs[0]
+    assert paper_rule > 0
+    for level in SPARE_LEVELS[1:]:
+        # Going past the stop rule never helps materially.
+        assert ipcs[level] <= paper_rule * 1.02, (level, ipcs)

@@ -1,0 +1,57 @@
+"""Table 1: clustered VLIW configurations and operation latencies."""
+
+from repro.machine.config import PAPER_CONFIG_NAMES, parse_config
+from repro.machine.resources import LATENCIES, OpClass, FuKind
+from repro.pipeline.report import format_table
+
+
+def render_table1() -> str:
+    resource_rows = []
+    m2 = parse_config("2c1b2l64r")
+    m4 = parse_config("4c1b2l64r")
+    for kind in FuKind:
+        resource_rows.append(
+            [f"{kind.value.upper()}/cluster", m2.fu_count(0, kind), m4.fu_count(0, kind)]
+        )
+    resources = format_table(
+        ["Resources", "2-cluster", "4-cluster"],
+        resource_rows,
+        title="Table 1a: resources per cluster",
+    )
+
+    latency_rows = [
+        ["MEM", LATENCIES[OpClass.LOAD], LATENCIES[OpClass.LOAD]],
+        ["ARITH", LATENCIES[OpClass.INT_ARITH], LATENCIES[OpClass.FP_ARITH]],
+        ["MUL/ABS", LATENCIES[OpClass.INT_MUL], LATENCIES[OpClass.FP_MUL]],
+        ["DIV/SQRT", LATENCIES[OpClass.INT_DIV], LATENCIES[OpClass.FP_DIV]],
+    ]
+    latencies = format_table(
+        ["Latencies", "INT", "FP"],
+        latency_rows,
+        title="Table 1b: operation latencies",
+    )
+
+    config_rows = []
+    for name in PAPER_CONFIG_NAMES:
+        m = parse_config(name)
+        config_rows.append(
+            [name, m.n_clusters, m.bus.count, m.bus.latency, m.registers(0)]
+        )
+    configs = format_table(
+        ["config", "clusters", "buses", "bus lat", "regs/cluster"],
+        config_rows,
+        title="Evaluated configurations (wcxbylzr)",
+    )
+    return "\n\n".join([resources, latencies, configs])
+
+
+def test_table1(record, once):
+    text = once(render_table1)
+    record("table1_configs", text)
+
+    # The paper's 12-issue budget splits exactly.
+    for name in PAPER_CONFIG_NAMES:
+        assert parse_config(name).issue_width == 12
+    # Table 1 latencies pinned.
+    assert LATENCIES[OpClass.FP_DIV] == 18
+    assert "4c2b4l64r" in text

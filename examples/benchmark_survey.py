@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Mini Figure 7: survey a few synthetic SPECfp95 benchmarks.
+
+Compiles a sample of each benchmark's loops for one 4-cluster machine
+and prints profile-weighted IPC with and without replication, plus the
+replication cost (instructions added, communications removed).
+
+Run:  python examples/benchmark_survey.py [loops-per-benchmark]
+"""
+
+import sys
+
+from repro.machine.config import parse_config
+from repro.pipeline.driver import Scheme, compile_loop
+from repro.pipeline.metrics import (
+    added_instruction_stats,
+    benchmark_metrics,
+    comm_stats,
+    loop_metrics,
+)
+from repro.pipeline.report import format_table
+from repro.workloads import benchmark_loops
+
+BENCHES = ("tomcatv", "swim", "su2cor", "mgrid", "applu")
+
+
+def main() -> None:
+    limit = int(sys.argv[1]) if len(sys.argv) > 1 else 6
+    machine = parse_config("4c1b2l64r")
+    rows = []
+    for bench in BENCHES:
+        loops = benchmark_loops(bench, limit=limit)
+        base = [
+            loop_metrics(l, compile_loop(l.ddg, machine, scheme=Scheme.BASELINE))
+            for l in loops
+        ]
+        repl = [
+            loop_metrics(
+                l, compile_loop(l.ddg, machine, scheme=Scheme.REPLICATION)
+            )
+            for l in loops
+        ]
+        ipc_base = benchmark_metrics(bench, base).ipc
+        ipc_repl = benchmark_metrics(bench, repl).ipc
+        overhead = added_instruction_stats(repl)
+        comms = comm_stats([m.result for m in repl])
+        rows.append(
+            [
+                bench,
+                len(loops),
+                ipc_base,
+                ipc_repl,
+                (ipc_repl / ipc_base - 1.0) * 100.0 if ipc_base else 0.0,
+                100.0 * comms.removed_fraction,
+                overhead.total_percent,
+            ]
+        )
+    print(
+        format_table(
+            [
+                "benchmark",
+                "loops",
+                "base IPC",
+                "repl IPC",
+                "speedup %",
+                "comms removed %",
+                "insns added %",
+            ],
+            rows,
+            title=f"Benchmark survey on {machine.name}",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Explore how machine configuration shapes the replication win.
+
+Sweeps cluster count, bus count and bus latency for a handful of loop
+patterns, printing baseline vs replication II and IPC — a compact view
+of the trade-off space the paper's Figure 7 samples.
+
+Run:  python examples/config_explorer.py
+"""
+
+from repro import Scheme, compile_loop, parse_config, simulate
+from repro.pipeline.report import format_table
+from repro.workloads import daxpy, dot_product, stencil5
+
+CONFIGS = (
+    "2c1b2l64r",
+    "2c2b4l64r",
+    "4c1b2l64r",
+    "4c2b2l64r",
+    "4c2b4l64r",
+    "4c4b4l64r",
+)
+
+
+def main() -> None:
+    iterations = 200
+    for make_loop in (stencil5, daxpy, dot_product):
+        loop = make_loop()
+        rows = []
+        for name in CONFIGS:
+            machine = parse_config(name)
+            base = compile_loop(loop, machine, scheme=Scheme.BASELINE)
+            repl = compile_loop(loop, machine, scheme=Scheme.REPLICATION)
+            ipc_base = simulate(base.kernel, iterations).ipc
+            ipc_repl = simulate(repl.kernel, iterations).ipc
+            rows.append(
+                [
+                    name,
+                    base.ii,
+                    repl.ii,
+                    base.kernel.n_copy_ops(),
+                    repl.kernel.n_copy_ops(),
+                    ipc_base,
+                    ipc_repl,
+                    (ipc_repl / ipc_base - 1.0) * 100.0,
+                ]
+            )
+        print(
+            format_table(
+                [
+                    "config",
+                    "base II",
+                    "repl II",
+                    "base comms",
+                    "repl comms",
+                    "base IPC",
+                    "repl IPC",
+                    "speedup %",
+                ],
+                rows,
+                title=f"loop: {loop.name}",
+            )
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

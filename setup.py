@@ -1,0 +1,10 @@
+"""Legacy entry point for environments without the ``wheel`` package.
+
+``pip install -e .`` needs ``wheel`` for PEP 517 builds; on fully
+offline machines ``python setup.py develop`` achieves the same editable
+install using only setuptools. All metadata lives in pyproject.toml.
+"""
+
+import setuptools
+
+setuptools.setup()

@@ -1,0 +1,18 @@
+"""Acyclic (straight-line) scheduling with instruction replication.
+
+Section 6 of the paper observes that the replication heuristics "can be
+also applied to acyclic code". This package carries that suggestion
+out: a classic critical-path list scheduler for clustered VLIWs
+(:mod:`repro.acyclic.listsched`) operating on the same placed-graph
+substrate as the modulo scheduler, plus a greedy replication pass
+(:mod:`repro.acyclic.replicate`) that copies a communication's
+subgraph into the consuming cluster whenever doing so shortens the
+schedule — the Figure 11 transformation, applied where it matters most
+(acyclic blocks have no II to amortize bus latency against, so every
+critical-path communication costs its full latency).
+"""
+
+from repro.acyclic.listsched import AcyclicSchedule, list_schedule
+from repro.acyclic.replicate import replicate_acyclic
+
+__all__ = ["AcyclicSchedule", "list_schedule", "replicate_acyclic"]

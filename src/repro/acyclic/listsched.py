@@ -1,0 +1,168 @@
+"""Critical-path list scheduling for acyclic placed graphs.
+
+The classic greedy: each cycle, issue the highest-priority ready
+operations onto free functional units (or a free bus, for COPY
+instances), where priority is the longest latency path to any sink.
+Loop-carried edges are rejected — this scheduler has no notion of
+iterations; use the modulo scheduler for loops.
+
+The result is an :class:`AcyclicSchedule`: instance start cycles plus
+the block's makespan (schedule length), with the same structural
+soundness checks as the modulo path (re-verified independently in the
+tests, not trusted from the scheduler's own bookkeeping).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.machine.config import MachineConfig
+from repro.machine.resources import FuKind
+from repro.schedule.placed import Instance, PlacedGraph
+
+
+class AcyclicError(ValueError):
+    """Raised for cyclic inputs or infeasible blocks."""
+
+
+@dataclasses.dataclass
+class AcyclicSchedule:
+    """A scheduled straight-line block.
+
+    Attributes:
+        graph: the placed graph that was scheduled.
+        machine: the target machine.
+        start: instance id -> issue cycle.
+        buses: COPY instance id -> bus index.
+    """
+
+    graph: PlacedGraph
+    machine: MachineConfig
+    start: dict[int, int]
+    buses: dict[int, int]
+
+    @property
+    def length(self) -> int:
+        """Makespan: cycles until the last result is ready."""
+        if not self.start:
+            return 0
+        return max(
+            self.start[inst.iid] + self.machine.latency_of(inst.op_class)
+            for inst in self.graph.instances()
+        )
+
+    def issue_width_used(self, cycle: int) -> int:
+        """Operations issued at ``cycle`` (for occupancy inspection)."""
+        return sum(1 for t in self.start.values() if t == cycle)
+
+
+def _priorities(graph: PlacedGraph, machine: MachineConfig) -> dict[int, int]:
+    """Longest path (in latency) from each instance to any sink."""
+    order: list[int] = []
+    indegree = {inst.iid: 0 for inst in graph.instances()}
+    for inst in graph.instances():
+        for edge in graph.out_edges(inst.iid):
+            if edge.distance:
+                raise AcyclicError("loop-carried edge in an acyclic block")
+            indegree[edge.dst] += 1
+    ready = [iid for iid, degree in indegree.items() if degree == 0]
+    while ready:
+        iid = ready.pop()
+        order.append(iid)
+        for edge in graph.out_edges(iid):
+            indegree[edge.dst] -= 1
+            if indegree[edge.dst] == 0:
+                ready.append(edge.dst)
+    if len(order) != len(indegree):
+        raise AcyclicError("dependence cycle in an acyclic block")
+
+    height: dict[int, int] = {}
+    for iid in reversed(order):
+        inst = graph.instance(iid)
+        latency = machine.latency_of(inst.op_class)
+        below = max(
+            (height[edge.dst] for edge in graph.out_edges(iid)), default=0
+        )
+        height[iid] = latency + below
+    return height
+
+
+def list_schedule(graph: PlacedGraph, machine: MachineConfig) -> AcyclicSchedule:
+    """Schedule a placed DAG; see the module docstring."""
+    height = _priorities(graph, machine)
+    remaining_preds = {
+        inst.iid: len(graph.in_edges(inst.iid)) for inst in graph.instances()
+    }
+    operand_ready: dict[int, int] = {
+        iid: 0 for iid in remaining_preds
+    }
+    ready: list[int] = [
+        iid for iid, count in remaining_preds.items() if count == 0
+    ]
+    start: dict[int, int] = {}
+    buses: dict[int, int] = {}
+
+    # Per-cycle occupancy, built lazily as the clock advances.
+    fu_used: dict[tuple[int, int, FuKind], int] = {}
+    bus_busy: dict[tuple[int, int], bool] = {}
+
+    def fu_free(cycle: int, inst: Instance) -> bool:
+        key = (cycle, inst.cluster, inst.fu_kind)
+        return fu_used.get(key, 0) < machine.fu_count(inst.cluster, inst.fu_kind)
+
+    def take_fu(cycle: int, inst: Instance) -> None:
+        key = (cycle, inst.cluster, inst.fu_kind)
+        fu_used[key] = fu_used.get(key, 0) + 1
+
+    def find_bus(cycle: int) -> int | None:
+        for bus in range(machine.bus.count):
+            if not any(
+                bus_busy.get((cycle + offset, bus), False)
+                for offset in range(machine.bus.latency)
+            ):
+                return bus
+        return None
+
+    def take_bus(cycle: int, bus: int) -> None:
+        for offset in range(machine.bus.latency):
+            bus_busy[(cycle + offset, bus)] = True
+
+    cycle = 0
+    pending = len(remaining_preds)
+    guard = 0
+    while pending:
+        guard += 1
+        if guard > 10_000_000:  # pragma: no cover - defensive
+            raise AcyclicError("list scheduler failed to converge")
+        issued_any = False
+        for iid in sorted(
+            [i for i in ready if operand_ready[i] <= cycle],
+            key=lambda i: (-height[i], i),
+        ):
+            inst = graph.instance(iid)
+            if inst.is_copy:
+                bus = find_bus(cycle)
+                if bus is None:
+                    continue
+                take_bus(cycle, bus)
+                buses[iid] = bus
+            else:
+                if not fu_free(cycle, inst):
+                    continue
+                take_fu(cycle, inst)
+            start[iid] = cycle
+            ready.remove(iid)
+            pending -= 1
+            issued_any = True
+            finish = cycle + machine.latency_of(inst.op_class)
+            for edge in graph.out_edges(iid):
+                remaining_preds[edge.dst] -= 1
+                operand_ready[edge.dst] = max(
+                    operand_ready[edge.dst], finish
+                )
+                if remaining_preds[edge.dst] == 0:
+                    ready.append(edge.dst)
+        if not issued_any or pending:
+            cycle += 1
+
+    return AcyclicSchedule(graph=graph, machine=machine, start=start, buses=buses)

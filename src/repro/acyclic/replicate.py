@@ -1,0 +1,131 @@
+"""Length-driven replication for acyclic blocks.
+
+Greedy improvement loop: find COPY instances on the critical path of
+the currently scheduled block, try replicating each one's subgraph into
+its critical consumer clusters, keep the candidate that shortens the
+actual list schedule the most, and repeat until nothing improves.
+Unlike the cyclic section 3 algorithm there is no bus-capacity target —
+the only currency is the makespan, exactly the Figure 11 trade.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.acyclic.listsched import AcyclicSchedule, list_schedule
+from repro.core.plan import ReplicationPlan
+from repro.core.state import ReplicationState
+from repro.core.subgraph import find_replication_subgraph
+from repro.machine.config import MachineConfig
+from repro.partition.partition import Partition
+from repro.schedule.order import placed_analysis
+from repro.schedule.placed import build_placed_graph
+
+
+@dataclasses.dataclass(frozen=True)
+class AcyclicResult:
+    """Outcome of the acyclic replication pass.
+
+    Attributes:
+        schedule: the best schedule found.
+        plan: the replication decisions it uses.
+        baseline_length: makespan before any replication.
+    """
+
+    schedule: AcyclicSchedule
+    plan: ReplicationPlan
+    baseline_length: int
+
+    @property
+    def length(self) -> int:
+        """Makespan after replication."""
+        return self.schedule.length
+
+    @property
+    def improvement(self) -> int:
+        """Cycles saved relative to the unreplicated block."""
+        return self.baseline_length - self.length
+
+
+def _schedule_with(
+    partition: Partition, machine: MachineConfig, state: ReplicationState
+) -> AcyclicSchedule:
+    plan = state.to_plan(initial_coms=0)
+    graph = build_placed_graph(partition.ddg, partition, machine, plan)
+    return list_schedule(graph, machine)
+
+
+def _critical_comm_targets(
+    partition: Partition, machine: MachineConfig, state: ReplicationState
+) -> list[tuple[int, frozenset[int]]]:
+    """(producer, critical consumer clusters) for zero-slack copies.
+
+    Criticality is judged on the dependence structure (resource-free
+    longest paths); the candidate evaluation below re-runs the real
+    list scheduler, so a false positive merely wastes one trial.
+    """
+    plan = state.to_plan(initial_coms=0)
+    graph = build_placed_graph(partition.ddg, partition, machine, plan)
+    analysis = placed_analysis(graph, machine, ii=1)
+    targets = []
+    for copy in graph.copies():
+        if analysis.slack(copy.iid) != 0:
+            continue
+        clusters = frozenset(
+            graph.instance(edge.dst).cluster
+            for edge in graph.out_edges(copy.iid)
+            if analysis.slack(edge.dst) == 0
+        )
+        if clusters:
+            targets.append((copy.origin, clusters))
+    return targets
+
+
+def replicate_acyclic(
+    partition: Partition,
+    machine: MachineConfig,
+    max_rounds: int = 8,
+) -> AcyclicResult:
+    """Greedy critical-path replication; see the module docstring."""
+    state = ReplicationState(partition, machine, ii=1)
+    best_schedule = _schedule_with(partition, machine, state)
+    baseline_length = best_schedule.length
+
+    if not machine.is_clustered:
+        return AcyclicResult(
+            schedule=best_schedule,
+            plan=state.to_plan(initial_coms=0),
+            baseline_length=baseline_length,
+        )
+
+    for _ in range(max_rounds):
+        improved = False
+        for producer, clusters in _critical_comm_targets(
+            partition, machine, state
+        ):
+            subgraph = find_replication_subgraph(state, producer)
+            trial = ReplicationState.from_plan(
+                partition, machine, 1, state.to_plan(initial_coms=0)
+            )
+            added = False
+            for uid in subgraph.members:
+                missing = clusters - trial.present_clusters(uid)
+                if missing:
+                    trial.replicas.setdefault(uid, set()).update(missing)
+                    added = True
+            if not added:
+                continue
+            trial_schedule = _schedule_with(partition, machine, trial)
+            if trial_schedule.length < best_schedule.length:
+                state = trial
+                best_schedule = trial_schedule
+                improved = True
+                break
+        if not improved:
+            break
+
+    return AcyclicResult(
+        schedule=best_schedule,
+        plan=state.to_plan(initial_coms=0),
+        baseline_length=baseline_length,
+    )

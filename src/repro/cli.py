@@ -1,0 +1,256 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``compile`` — compile one loop (a built-in pattern or a JSON DDG
+  file) for a machine, print the schedule summary and kernel.
+* ``simulate`` — compile and run a loop, print IPC and issue stats.
+* ``suite`` — compile a synthetic benchmark's loops and print the
+  profile-weighted IPC under baseline and replication.
+* ``dot`` — emit Graphviz DOT for a loop (optionally partitioned).
+
+Examples::
+
+    python -m repro compile --machine 4c1b2l64r --loop stencil5
+    python -m repro simulate --machine 4c2b4l64r --loop daxpy -n 500
+    python -m repro suite --machine 4c1b2l64r --benchmark su2cor --limit 8
+    python -m repro dot --loop dot_product --machine 2c1b2l64r --partition
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.ddg import io as ddg_io
+from repro.ddg.graph import Ddg
+from repro.machine.config import MachineConfig, parse_config, unified_machine
+from repro.pipeline.driver import Scheme, compile_loop
+from repro.pipeline.metrics import benchmark_metrics, loop_metrics
+from repro.pipeline.report import format_table
+from repro.sim.vliw import simulate
+from repro.workloads import patterns
+from repro.workloads.dsp import DSP_KERNELS
+from repro.workloads.specfp import BENCHMARK_ORDER, benchmark_loops
+
+#: Built-in loop patterns addressable from the command line.
+PATTERNS = {
+    "daxpy": patterns.daxpy,
+    "stencil5": patterns.stencil5,
+    "dot_product": patterns.dot_product,
+    "figure3": patterns.figure3_graph,
+    **DSP_KERNELS,
+}
+
+
+def _machine(name: str) -> MachineConfig:
+    if name == "unified":
+        return unified_machine()
+    return parse_config(name)
+
+
+def _loop(args: argparse.Namespace) -> Ddg:
+    if args.loop in PATTERNS:
+        return PATTERNS[args.loop]()
+    return ddg_io.load(args.loop)
+
+
+_SCHEME_NAMES = {
+    "baseline": Scheme.BASELINE,
+    "replication": Scheme.REPLICATION,
+    "macro": Scheme.MACRO_REPLICATION,
+    "cloning": Scheme.VALUE_CLONING,
+}
+
+
+def _scheme(args: argparse.Namespace) -> Scheme:
+    if getattr(args, "scheme", None):
+        return _SCHEME_NAMES[args.scheme]
+    return Scheme.BASELINE if args.no_replication else Scheme.REPLICATION
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    machine = _machine(args.machine)
+    ddg = _loop(args)
+    result = compile_loop(ddg, machine, scheme=_scheme(args))
+    kernel = result.kernel
+    print(
+        f"loop {ddg.name!r} on {machine.name} [{result.scheme.value}]: "
+        f"MII {result.mii}, II {result.ii}, length {kernel.length}, "
+        f"SC {kernel.stage_count}"
+    )
+    print(
+        f"communications {kernel.n_copy_ops()}, replicas "
+        f"{kernel.n_replica_ops()}, removed {len(result.plan.removed)}"
+    )
+    if args.kernel:
+        for row in kernel.rows():
+            print(" ", row)
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    machine = _machine(args.machine)
+    ddg = _loop(args)
+    result = compile_loop(ddg, machine, scheme=_scheme(args))
+    sim = simulate(result.kernel, args.iterations)
+    print(
+        f"{ddg.name} x {args.iterations} iterations on {machine.name} "
+        f"[{result.scheme.value}]"
+    )
+    print(f"  cycles {sim.cycles}  IPC {sim.ipc:.3f}")
+    print(
+        f"  issued: {sim.issued_original} original, "
+        f"{sim.issued_replica} replicas, {sim.issued_copies} copies "
+        f"(raw issue rate {sim.ipc_issued:.3f})"
+    )
+    return 0
+
+
+def cmd_suite(args: argparse.Namespace) -> int:
+    machine = _machine(args.machine)
+    rows = []
+    for bench in [args.benchmark] if args.benchmark else BENCHMARK_ORDER:
+        loops = benchmark_loops(bench, limit=args.limit)
+        base = benchmark_metrics(
+            bench,
+            [
+                loop_metrics(
+                    l, compile_loop(l.ddg, machine, scheme=Scheme.BASELINE)
+                )
+                for l in loops
+            ],
+        )
+        repl = benchmark_metrics(
+            bench,
+            [
+                loop_metrics(
+                    l, compile_loop(l.ddg, machine, scheme=Scheme.REPLICATION)
+                )
+                for l in loops
+            ],
+        )
+        gain = (repl.ipc / base.ipc - 1.0) * 100.0 if base.ipc else 0.0
+        rows.append([bench, len(loops), base.ipc, repl.ipc, gain])
+    print(
+        format_table(
+            ["benchmark", "loops", "baseline IPC", "replication IPC", "speedup %"],
+            rows,
+            title=f"suite on {machine.name}",
+        )
+    )
+    return 0
+
+
+def cmd_selfcheck(args: argparse.Namespace) -> int:
+    from repro.pipeline.validation import self_check
+
+    report = self_check()
+    print("self-check OK:", report.summary())
+    return 0
+
+
+def cmd_asm(args: argparse.Namespace) -> int:
+    from repro.codegen.emit import emit_assembly
+    from repro.codegen.program import software_pipeline
+
+    machine = _machine(args.machine)
+    ddg = _loop(args)
+    result = compile_loop(ddg, machine, scheme=_scheme(args))
+    print(emit_assembly(software_pipeline(result.kernel), name=ddg.name))
+    return 0
+
+
+def cmd_dot(args: argparse.Namespace) -> int:
+    from repro.ddg.dot import ddg_to_dot, partition_to_dot
+    from repro.partition.multilevel import initial_partition
+
+    ddg = _loop(args)
+    if args.partition:
+        machine = _machine(args.machine)
+        from repro.ddg.analysis import mii
+
+        part = initial_partition(ddg, machine, mii(ddg, machine))
+        print(partition_to_dot(part))
+    else:
+        print(ddg_to_dot(ddg))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Instruction replication for clustered VLIW (MICRO-36 2003)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--machine",
+            default="4c1b2l64r",
+            help="wcxbylzr config or 'unified' (default: 4c1b2l64r)",
+        )
+        p.add_argument(
+            "--loop",
+            default="stencil5",
+            help=f"pattern name ({', '.join(PATTERNS)}) or JSON DDG path",
+        )
+        p.add_argument(
+            "--no-replication",
+            action="store_true",
+            help="use the baseline scheduler (no replication)",
+        )
+        p.add_argument(
+            "--scheme",
+            choices=sorted(_SCHEME_NAMES),
+            default=None,
+            help="compiler variant (overrides --no-replication)",
+        )
+
+    p = sub.add_parser("compile", help="compile one loop")
+    add_common(p)
+    p.add_argument("--kernel", action="store_true", help="dump the kernel")
+    p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("simulate", help="compile and simulate one loop")
+    add_common(p)
+    p.add_argument("-n", "--iterations", type=int, default=100)
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("suite", help="evaluate synthetic benchmarks")
+    p.add_argument("--machine", default="4c1b2l64r")
+    p.add_argument(
+        "--benchmark",
+        choices=BENCHMARK_ORDER,
+        default=None,
+        help="one benchmark (default: all)",
+    )
+    p.add_argument("--limit", type=int, default=8, help="loops per benchmark")
+    p.set_defaults(func=cmd_suite)
+
+    p = sub.add_parser("selfcheck", help="exercise every subsystem (seconds)")
+    p.set_defaults(func=cmd_selfcheck)
+
+    p = sub.add_parser("asm", help="emit software-pipelined pseudo-assembly")
+    add_common(p)
+    p.set_defaults(func=cmd_asm)
+
+    p = sub.add_parser("dot", help="emit Graphviz DOT")
+    add_common(p)
+    p.add_argument(
+        "--partition",
+        action="store_true",
+        help="partition first and draw cluster boxes",
+    )
+    p.set_defaults(func=cmd_dot)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via -m
+    sys.exit(main())

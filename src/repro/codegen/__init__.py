@@ -1,0 +1,30 @@
+"""VLIW code generation from modulo-scheduled kernels.
+
+Expands a :class:`~repro.schedule.kernel.Kernel` into the explicit
+instruction words a clustered VLIW would fetch: either a *flat* program
+for a known iteration count (every cycle spelled out — useful for
+inspection and differential testing against the simulator), or the
+*software-pipelined* form a compiler actually emits: prolog, steady-
+state kernel (optionally unrolled for modulo variable expansion) and
+epilog.
+"""
+
+from repro.codegen.program import (
+    FlatProgram,
+    PipelinedLoop,
+    SlotOp,
+    VliwWord,
+    flat_program,
+    software_pipeline,
+)
+from repro.codegen.emit import emit_assembly
+
+__all__ = [
+    "FlatProgram",
+    "PipelinedLoop",
+    "SlotOp",
+    "VliwWord",
+    "flat_program",
+    "software_pipeline",
+    "emit_assembly",
+]

@@ -1,0 +1,50 @@
+"""Textual assembly emission for pipelined loops.
+
+The format is a readable, cluster-columned pseudo-assembly::
+
+    ; loop daxpy  II=2 SC=4
+    prolog:
+      w0: c0[int_arith i@0] | c1[...]
+      ...
+    kernel:                     ; repeat N - 3 times
+      w0: c0[load ld_x@s1] ...
+    epilog:
+      ...
+
+Iteration tags are absolute in prolog/epilog and stage-relative
+(``@sK``) in the kernel body.
+"""
+
+from __future__ import annotations
+
+from repro.codegen.program import PipelinedLoop, VliwWord
+
+
+def _format_word(word: VliwWord, stage_relative: bool) -> str:
+    if word.is_nop:
+        return "nop"
+    parts = []
+    for op in word.ops:
+        tag = f"@s{op.iteration}" if stage_relative else f"@{op.iteration}"
+        bus = f" bus{op.bus}" if op.bus is not None else ""
+        parts.append(f"c{op.cluster}[{op.op_class} {op.name}{tag}{bus}]")
+    return " | ".join(parts)
+
+
+def emit_assembly(loop: PipelinedLoop, name: str = "loop") -> str:
+    """Render a pipelined loop as pseudo-assembly text."""
+    lines = [
+        f"; loop {name}  II={loop.ii} SC={loop.stage_count} "
+        f"words={loop.code_words}"
+    ]
+    lines.append("prolog:")
+    for word in loop.prolog:
+        lines.append(f"  w{word.cycle}: {_format_word(word, False)}")
+    repeat = "N - " + str(loop.stage_count - 1)
+    lines.append(f"kernel:            ; repeat {repeat} times")
+    for word in loop.kernel:
+        lines.append(f"  w{word.cycle}: {_format_word(word, True)}")
+    lines.append("epilog:")
+    for word in loop.epilog:
+        lines.append(f"  w{word.cycle}: {_format_word(word, False)}")
+    return "\n".join(lines)

@@ -1,0 +1,210 @@
+"""Kernel expansion into explicit VLIW instruction words.
+
+Terminology: a *word* is everything the machine issues in one cycle —
+at most ``units`` operations per (cluster, FU kind) plus at most
+``nof_buses`` bus transfer starts. The flat program for ``N``
+iterations covers cycles ``0 .. (N-1)*II + length``; the software-
+pipelined form factors it into
+
+* ``prolog`` — the ``(SC-1) * II`` fill cycles, where early iterations
+  ramp up;
+* ``kernel`` — ``II`` steady-state words executed ``N - SC + 1`` times,
+  each word containing every operation exactly once (tagged with the
+  pipeline *stage* it belongs to);
+* ``epilog`` — the ``(SC-1) * II`` drain cycles.
+
+The factorization is validated structurally: stitching
+``prolog + kernel*(N-SC+1) + epilog`` back together reproduces the flat
+program word for word (tested in ``tests/codegen``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.schedule.kernel import Kernel
+
+
+@dataclasses.dataclass(frozen=True)
+class SlotOp:
+    """One operation instance inside a VLIW word.
+
+    Attributes:
+        name: instance label (e.g. ``ld_x``, ``copy(base)``).
+        cluster: issuing cluster.
+        op_class: operation class string.
+        iteration: which loop iteration this instance belongs to
+            (absolute in flat programs, stage-relative in kernels).
+        bus: bus index for COPY operations, else None.
+    """
+
+    name: str
+    cluster: int
+    op_class: str
+    iteration: int
+    bus: int | None = None
+
+
+@dataclasses.dataclass(frozen=True)
+class VliwWord:
+    """All operations issued in one cycle."""
+
+    cycle: int
+    ops: tuple[SlotOp, ...]
+
+    @property
+    def is_nop(self) -> bool:
+        """True for an empty (all-NOP) word."""
+        return not self.ops
+
+
+@dataclasses.dataclass(frozen=True)
+class FlatProgram:
+    """The fully unrolled execution of ``iterations`` loop iterations."""
+
+    words: tuple[VliwWord, ...]
+    iterations: int
+    ii: int
+
+    @property
+    def n_cycles(self) -> int:
+        """Cycles covered (equals the word count)."""
+        return len(self.words)
+
+    def issue_count(self) -> int:
+        """Total operations issued."""
+        return sum(len(word.ops) for word in self.words)
+
+
+@dataclasses.dataclass(frozen=True)
+class PipelinedLoop:
+    """Prolog / kernel / epilog factorization of a modulo schedule."""
+
+    prolog: tuple[VliwWord, ...]
+    kernel: tuple[VliwWord, ...]
+    epilog: tuple[VliwWord, ...]
+    ii: int
+    stage_count: int
+
+    @property
+    def code_words(self) -> int:
+        """Static code footprint in words."""
+        return len(self.prolog) + len(self.kernel) + len(self.epilog)
+
+    def min_iterations(self) -> int:
+        """Smallest N this form can execute (the pipeline must fill)."""
+        return self.stage_count
+
+
+def _slot_op(kernel: Kernel, iid: int, iteration: int) -> SlotOp:
+    op = kernel.ops[iid]
+    return SlotOp(
+        name=op.instance.name,
+        cluster=op.instance.cluster,
+        op_class=op.instance.op_class.value,
+        iteration=iteration,
+        bus=op.bus,
+    )
+
+
+def flat_program(kernel: Kernel, iterations: int) -> FlatProgram:
+    """Spell out every cycle of ``iterations`` loop iterations."""
+    if iterations < 0:
+        raise ValueError(f"iterations must be >= 0, got {iterations}")
+    if iterations == 0 or not kernel.ops:
+        return FlatProgram(words=(), iterations=iterations, ii=kernel.ii)
+
+    last_cycle = (iterations - 1) * kernel.ii + kernel.length - 1
+    by_cycle: dict[int, list[SlotOp]] = {}
+    for iid, op in kernel.ops.items():
+        for iteration in range(iterations):
+            cycle = op.start + iteration * kernel.ii
+            by_cycle.setdefault(cycle, []).append(
+                _slot_op(kernel, iid, iteration)
+            )
+    words = tuple(
+        VliwWord(
+            cycle=cycle,
+            ops=tuple(
+                sorted(
+                    by_cycle.get(cycle, ()),
+                    key=lambda s: (s.cluster, s.op_class, s.name),
+                )
+            ),
+        )
+        for cycle in range(last_cycle + 1)
+    )
+    return FlatProgram(words=words, iterations=iterations, ii=kernel.ii)
+
+
+def software_pipeline(kernel: Kernel) -> PipelinedLoop:
+    """Factor a kernel into prolog / steady-state body / epilog."""
+    ii = kernel.ii
+    sc = kernel.stage_count
+    fill = (sc - 1) * ii
+
+    # Steady-state body: every op once per window, tagged with its stage
+    # (iteration offset relative to the newest iteration in flight).
+    body_rows: dict[int, list[SlotOp]] = {row: [] for row in range(ii)}
+    for iid, op in kernel.ops.items():
+        stage = op.start // ii
+        row = op.start % ii
+        body_rows[row].append(_slot_op(kernel, iid, iteration=stage))
+    body = tuple(
+        VliwWord(
+            cycle=row,
+            ops=tuple(
+                sorted(
+                    body_rows[row], key=lambda s: (s.cluster, s.op_class, s.name)
+                )
+            ),
+        )
+        for row in range(ii)
+    )
+
+    # Prolog: cycles 0 .. fill-1 of the flat schedule.
+    prolog_ops: dict[int, list[SlotOp]] = {c: [] for c in range(fill)}
+    for iid, op in kernel.ops.items():
+        iteration = 0
+        while op.start + iteration * ii < fill:
+            prolog_ops[op.start + iteration * ii].append(
+                _slot_op(kernel, iid, iteration)
+            )
+            iteration += 1
+    prolog = tuple(
+        VliwWord(
+            cycle=c,
+            ops=tuple(
+                sorted(prolog_ops[c], key=lambda s: (s.cluster, s.op_class, s.name))
+            ),
+        )
+        for c in range(fill)
+    )
+
+    # Epilog: the drain — with N = SC iterations total, the cycles after
+    # the single steady-state window.
+    epilog_words = []
+    start = fill + ii
+    end = (sc - 1) * ii + kernel.length
+    for cycle in range(start, end):
+        ops = []
+        for iid, op in kernel.ops.items():
+            for iteration in range(sc):
+                if op.start + iteration * ii == cycle:
+                    ops.append(_slot_op(kernel, iid, iteration))
+        epilog_words.append(
+            VliwWord(
+                cycle=cycle - start,
+                ops=tuple(
+                    sorted(ops, key=lambda s: (s.cluster, s.op_class, s.name))
+                ),
+            )
+        )
+
+    return PipelinedLoop(
+        prolog=prolog,
+        kernel=body,
+        epilog=tuple(epilog_words),
+        ii=ii,
+        stage_count=sc,
+    )

@@ -1,0 +1,56 @@
+"""Instruction replication — the paper's contribution (section 3).
+
+Public surface:
+
+* :func:`~repro.core.replicator.replicate` — the main heuristic: remove
+  ``extra_coms`` communications by replicating minimum subgraphs,
+  cheapest (by the section 3.3 weight) first.
+* :func:`~repro.core.subgraph.find_replication_subgraph` — Figure 4.
+* :func:`~repro.core.removable.find_removable_instructions` — Figure 5.
+* :func:`~repro.core.length.replicate_for_length` — section 5.1.
+* :func:`~repro.core.macro.macro_replicate` — section 5.2.
+* :class:`~repro.core.plan.ReplicationPlan` — the frozen result.
+"""
+
+from repro.core.plan import EMPTY_PLAN, ReplicationPlan
+from repro.core.state import ReplicationState
+from repro.core.subgraph import (
+    ReplicationSubgraph,
+    find_replication_subgraph,
+    fits_resources,
+)
+from repro.core.removable import find_removable_instructions
+from repro.core.weights import (
+    node_weight,
+    removal_benefit,
+    sharing_table,
+    subgraph_weight,
+)
+from repro.core.replicator import Candidate, replicate, score_candidates
+from repro.core.length import replicate_for_length
+from repro.core.macro import macro_replicate
+from repro.core.unroll import UnrolledProfile, unroll_ddg
+from repro.core.cloning import clone_values, is_clonable
+
+__all__ = [
+    "EMPTY_PLAN",
+    "ReplicationPlan",
+    "ReplicationState",
+    "ReplicationSubgraph",
+    "find_replication_subgraph",
+    "fits_resources",
+    "find_removable_instructions",
+    "node_weight",
+    "removal_benefit",
+    "sharing_table",
+    "subgraph_weight",
+    "Candidate",
+    "replicate",
+    "score_candidates",
+    "replicate_for_length",
+    "macro_replicate",
+    "UnrolledProfile",
+    "unroll_ddg",
+    "clone_values",
+    "is_clonable",
+]

@@ -1,0 +1,81 @@
+"""Value cloning — the Kuras/Carr/Sweany baseline (section 6).
+
+The closest prior technique to the paper's replication: *value cloning*
+duplicates only read-only values and induction variables across
+partitioned register banks. In DDG terms the clonable set is
+
+* **root nodes** — operations with no register parents (loop-invariant
+  address bases, constants materialized in the body), and
+* **induction variables** — operations whose only register parent is
+  themselves at a loop-carried distance.
+
+Cloning such a node into every consuming cluster removes its
+communication at the cost of one instruction per cluster; unlike the
+paper's technique it cannot chase a value's *producers*, so any
+communication fed by real computation stays. The ablation benchmark
+shows how much of the paper's win this simpler scheme leaves on the
+table.
+"""
+
+from __future__ import annotations
+
+from repro.core.plan import ReplicationPlan
+from repro.core.state import ReplicationState
+from repro.machine.config import MachineConfig
+from repro.partition.partition import Partition
+
+
+def is_clonable(state: ReplicationState, uid: int) -> bool:
+    """True for root nodes and self-recurrence induction variables."""
+    node = state.ddg.node(uid)
+    if node.is_store:
+        return False
+    parents = set(state.register_parents(uid))
+    return not parents or parents == {uid}
+
+
+def clone_values(
+    partition: Partition,
+    machine: MachineConfig,
+    ii: int,
+) -> ReplicationPlan:
+    """Remove communications of clonable values, cheapest first.
+
+    Same stop rule as the paper's algorithm (stop once the bus fits)
+    and the same resource feasibility check, but the candidate set is
+    restricted to clonable nodes and no subgraph is ever chased.
+    """
+    state = ReplicationState(partition, machine, ii)
+    initial = state.nof_coms()
+    if initial == 0 or not machine.is_clustered:
+        return state.to_plan(initial_coms=initial, feasible=True)
+
+    for _ in range(initial):
+        if state.extra_coms() == 0:
+            break
+        candidates = []
+        for comm in state.active_comms():
+            if not is_clonable(state, comm):
+                continue
+            destinations = state.comm_destinations(comm)
+            kind = state.ddg.node(comm).fu_kind
+            fits = all(
+                state.usage(kind, cluster) + 1
+                <= machine.fu_count(cluster, kind) * ii
+                for cluster in destinations
+            )
+            if fits:
+                candidates.append((len(destinations), comm))
+        if not candidates:
+            break
+        _, best = min(candidates)
+        destinations = state.comm_destinations(best)
+        # A cloned induction variable keeps its loop-carried self edge:
+        # each clone feeds itself in its own cluster, so no extra
+        # communication appears (the placed graph wires replica->replica
+        # automatically through the local-producer-first rule).
+        state.apply(best, {best: set(destinations)}, removable=[])
+
+    return state.to_plan(
+        initial_coms=initial, feasible=state.extra_coms() == 0
+    )

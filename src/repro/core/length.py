@@ -1,0 +1,122 @@
+"""Replication to reduce the schedule length (section 5.1).
+
+For loops with small trip counts the prolog/epilog time — proportional
+to the schedule length — can dominate the kernel time, so removing a
+bus latency from the *critical path* of a single iteration matters more
+than removing a communication from the bus. The extension:
+
+1. find COPY instances sitting on the critical path (zero slack);
+2. replicate the producer's subgraph into just the critical consumer's
+   cluster — the communication itself may survive for the other,
+   non-critical consumers, exactly as in the paper's Figure 11;
+3. keep the change only if the estimated length actually shrinks.
+
+The paper finds the benefit mostly negligible (Figure 12); the
+benchmark harness reproduces that conclusion.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.plan import ReplicationPlan
+from repro.core.state import ReplicationState
+from repro.core.subgraph import (
+    ReplicationSubgraph,
+    find_replication_subgraph,
+    fits_resources,
+)
+from repro.machine.config import MachineConfig
+from repro.partition.partition import Partition
+from repro.schedule.order import placed_analysis
+from repro.schedule.placed import build_placed_graph
+
+
+def _critical_copies(
+    partition: Partition, machine: MachineConfig, ii: int, state: ReplicationState
+) -> list[tuple[int, set[int]]]:
+    """(producer uid, critical consumer clusters) per critical COPY."""
+    plan = state.to_plan(initial_coms=0)
+    graph = build_placed_graph(partition.ddg, partition, machine, plan)
+    analysis = placed_analysis(graph, machine, ii)
+    critical = []
+    for copy in graph.copies():
+        if analysis.slack(copy.iid) != 0:
+            continue
+        clusters = {
+            graph.instance(edge.dst).cluster
+            for edge in graph.out_edges(copy.iid)
+            if analysis.slack(edge.dst) == 0
+        }
+        if clusters:
+            critical.append((copy.origin, clusters))
+    return critical
+
+
+def _estimated_length(
+    partition: Partition, machine: MachineConfig, ii: int, state: ReplicationState
+) -> int:
+    """Critical-path length of the state's placed graph at ``ii``."""
+    plan = state.to_plan(initial_coms=0)
+    graph = build_placed_graph(partition.ddg, partition, machine, plan)
+    return placed_analysis(graph, machine, ii).length
+
+
+def _narrowed(
+    subgraph: ReplicationSubgraph, state: ReplicationState, clusters: set[int]
+) -> ReplicationSubgraph:
+    """Restrict a subgraph's replication to specific target clusters."""
+    needed = {}
+    for uid in subgraph.members:
+        missing = frozenset(clusters - state.present_clusters(uid))
+        if missing:
+            needed[uid] = missing
+    return dataclasses.replace(
+        subgraph, destinations=frozenset(clusters), needed=needed
+    )
+
+
+def replicate_for_length(
+    partition: Partition,
+    machine: MachineConfig,
+    ii: int,
+    base_plan: ReplicationPlan,
+    max_rounds: int = 8,
+) -> ReplicationPlan:
+    """Extend a plan with critical-path replications; see module docstring.
+
+    Returns a plan whose estimated schedule length is <= the base
+    plan's; when nothing helps, the base plan is returned unchanged.
+    """
+    if not machine.is_clustered:
+        return base_plan
+    state = ReplicationState.from_plan(partition, machine, ii, base_plan)
+    best_length = _estimated_length(partition, machine, ii, state)
+
+    for _ in range(max_rounds):
+        improved = False
+        for producer, clusters in _critical_copies(partition, machine, ii, state):
+            subgraph = find_replication_subgraph(state, producer)
+            narrowed = _narrowed(subgraph, state, clusters)
+            if not narrowed.needed or not fits_resources(narrowed, state):
+                continue
+            trial = ReplicationState.from_plan(
+                partition, machine, ii, state.to_plan(initial_coms=0)
+            )
+            for uid, targets in narrowed.needed.items():
+                trial.replicas.setdefault(uid, set()).update(targets)
+            # The communication survives for non-covered consumers; the
+            # dynamic comm queries account for that automatically.
+            trial_length = _estimated_length(partition, machine, ii, trial)
+            if trial_length < best_length:
+                state = trial
+                best_length = trial_length
+                improved = True
+                break
+        if not improved:
+            break
+
+    plan = state.to_plan(
+        initial_coms=base_plan.initial_coms, feasible=base_plan.feasible
+    )
+    return plan

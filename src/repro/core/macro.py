@@ -1,0 +1,129 @@
+"""Macro-node replication (section 5.2) — a deliberately blunt variant.
+
+Instead of replicating the *minimum* subgraph of one communication, this
+alternative replicates whole macro-nodes from the partitioner's
+coarsening hierarchy, making replication "more aware of the information
+discovered by the partitioning step". The paper reports that it is not
+effective — too many unnecessary instructions get replicated — and our
+ablation benchmark reproduces that conclusion.
+
+To keep the resulting placed graph well-formed, the macro-node's member
+set is closed over register parents (stopping at values that are still
+communicated), exactly the Figure 4 rule applied to a larger seed set.
+"""
+
+from __future__ import annotations
+
+from repro.core.plan import ReplicationPlan
+from repro.core.removable import find_removable_instructions
+from repro.core.state import ReplicationState
+from repro.core.subgraph import ReplicationSubgraph, fits_resources
+from repro.machine.config import MachineConfig
+from repro.partition.coarsen import CoarseLevel
+from repro.partition.partition import Partition
+
+
+def _macro_members(levels: list[CoarseLevel], level_index: int, uid: int) -> set[int]:
+    """Members of the macro-node containing ``uid`` at a hierarchy level."""
+    if not 0 <= level_index < len(levels):
+        raise IndexError(f"no coarsening level {level_index}")
+    for macro in levels[level_index].macro_nodes.values():
+        if uid in macro.members:
+            return set(macro.members)
+    return {uid}
+
+
+def _closed_subgraph(
+    state: ReplicationState, comm: int, seed: set[int]
+) -> ReplicationSubgraph:
+    """Figure 4 closure of a seed set, as a subgraph for ``comm``.
+
+    Seed members are restricted to the communication's home cluster
+    (macro-node members that refinement later moved elsewhere either
+    already sit in a destination or have their own communication), but
+    the *parent closure* is unrestricted — a parent whose broadcast was
+    removed earlier must be replicated along, whatever its cluster,
+    exactly as in the minimal-subgraph algorithm.
+    """
+    home = state.partition.cluster_of(comm)
+    members: set[int] = set()
+    seed_members = [
+        uid
+        for uid in sorted(seed)
+        if state.partition.cluster_of(uid) == home
+        and not state.ddg.node(uid).is_store
+        and not (uid != comm and state.has_comm(uid))
+    ]
+    candidates = [comm, *seed_members]
+    while candidates:
+        uid = candidates.pop()
+        if uid in members:
+            continue
+        if uid != comm and state.has_comm(uid):
+            continue
+        if state.ddg.node(uid).is_store:
+            continue
+        members.add(uid)
+        candidates.extend(state.register_parents(uid))
+
+    destinations = frozenset(state.comm_destinations(comm))
+    needed = {}
+    for uid in members:
+        missing = frozenset(destinations - state.present_clusters(uid))
+        if missing:
+            needed[uid] = missing
+    return ReplicationSubgraph(
+        comm=comm,
+        members=frozenset(members),
+        destinations=destinations,
+        needed=needed,
+    )
+
+
+def macro_replicate(
+    partition: Partition,
+    machine: MachineConfig,
+    ii: int,
+    levels: list[CoarseLevel],
+    level_index: int | None = None,
+    max_rounds: int | None = None,
+) -> ReplicationPlan:
+    """Section 5.2's alternative: replicate macro-nodes, not subgraphs.
+
+    Same stop rule as the main algorithm (bring bus usage within
+    capacity), but each replication copies the whole closed macro-node
+    containing the producer, taken from the coarsening hierarchy —
+    by default from the middle level, where macro-nodes are genuinely
+    multi-instruction (level 0 would degenerate to single nodes).
+    Candidates are ranked by the number of new instances (fewest first)
+    since the macro variant has no per-node weight story.
+    """
+    state = ReplicationState(partition, machine, ii)
+    initial = state.nof_coms()
+    if initial == 0 or not machine.is_clustered:
+        return state.to_plan(initial_coms=initial, feasible=True)
+
+    rounds = max_rounds if max_rounds is not None else initial
+    if level_index is None:
+        level_index = max(1, len(levels) // 2)
+    level = min(level_index, len(levels) - 1)
+
+    for _ in range(rounds):
+        if state.extra_coms() == 0:
+            break
+        candidates = []
+        for comm in state.active_comms():
+            seed = _macro_members(levels, level, comm)
+            subgraph = _closed_subgraph(state, comm, seed)
+            if subgraph.needed and not fits_resources(subgraph, state):
+                continue
+            candidates.append(subgraph)
+        if not candidates:
+            return state.to_plan(initial_coms=initial, feasible=False)
+        best = min(candidates, key=lambda s: (s.n_new_instances, s.comm))
+        removable = find_removable_instructions(state, best)
+        state.apply(best.comm, dict(best.needed), removable)
+
+    return state.to_plan(
+        initial_coms=initial, feasible=state.extra_coms() == 0
+    )

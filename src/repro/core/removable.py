@@ -1,0 +1,79 @@
+"""Removable instructions (section 3.2, Figure 5).
+
+After a communication is replaced by replication, the original producer
+may be left with no consumer in its own cluster — every consumer now
+reads a replica — so it can be deleted, freeing resources. The deletion
+cascades to same-cluster parents whose only children were deleted.
+
+An instruction stays if any of the following holds:
+
+* it still has a child instance (original or replica) in its own
+  cluster that is not itself being removed;
+* its value still communicates to other clusters (the bus COPY is a
+  consumer) — evaluated under the hypothesis that the communication
+  being replaced is gone;
+* it is a store: stores have a memory side effect and are never
+  removed (nor replicated).
+
+Figure 5's published pseudo-code inverts the child test (a literal
+reading would remove an instruction *because* it has live children);
+we follow the prose ("if the instruction has no children in the
+cluster where it is placed, then the instruction can be removed"),
+which also matches the worked example.
+"""
+
+from __future__ import annotations
+
+from repro.core.state import ReplicationState
+from repro.core.subgraph import ReplicationSubgraph
+
+
+def _has_live_local_child(
+    state: ReplicationState, uid: int, cluster: int, removable: set[int]
+) -> bool:
+    """True when some child instance lives in ``cluster`` and stays."""
+    for child in state.register_children(uid):
+        if child in removable:
+            continue
+        if cluster in state.present_clusters(child):
+            return True
+    return False
+
+
+def find_removable_instructions(
+    state: ReplicationState, subgraph: ReplicationSubgraph
+) -> list[int]:
+    """Instructions deletable once ``subgraph``'s communication is gone.
+
+    The result lists original uids, in discovery order (producer first),
+    all placed in the communication's home cluster.
+    """
+    comm = subgraph.comm
+    home = state.partition.cluster_of(comm)
+    removable: set[int] = set()
+    order: list[int] = []
+    candidates: list[int] = [comm]
+
+    while candidates:
+        uid = candidates.pop()
+        if uid in removable or uid in state.removed:
+            continue
+        node = state.ddg.node(uid)
+        if node.is_store:
+            continue
+        if state.partition.cluster_of(uid) != home:
+            continue
+        # Under the hypothesis the replaced communication is removed,
+        # the producer's own broadcast is not a consumer; every other
+        # node's surviving communication keeps it alive.
+        if uid != comm and state.has_comm(uid):
+            continue
+        if _has_live_local_child(state, uid, home, removable):
+            continue
+        removable.add(uid)
+        order.append(uid)
+        for parent in state.register_parents(uid):
+            if state.partition.cluster_of(parent) == home:
+                candidates.append(parent)
+
+    return order

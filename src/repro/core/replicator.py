@@ -1,0 +1,132 @@
+"""The replication heuristic driver (section 3.3).
+
+Given a partition at a candidate II, the driver:
+
+1. computes ``extra_coms`` — communications beyond bus capacity;
+2. builds the replication subgraph, removable set and weight of every
+   active communication against the current state;
+3. replicates the feasible subgraph with the smallest weight;
+4. repeats — with all subgraphs/weights recomputed against the evolved
+   state (the section 3.4 updates) — until the bus is no longer
+   overloaded or no feasible replication remains.
+
+No over-replication is possible: once ``extra_coms`` reaches zero the
+loop stops. When it cannot reach zero the returned plan is marked
+infeasible and the caller must raise the II (Figure 2's feedback arc).
+
+The ``spare_comms`` knob extends the stop rule for experiments: when
+positive, the driver keeps removing that many communications below
+capacity — deliberately *not* the paper's algorithm; it exists only for
+the over-replication ablation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from fractions import Fraction
+
+from repro.core.plan import ReplicationPlan
+from repro.core.removable import find_removable_instructions
+from repro.core.state import ReplicationState
+from repro.core.subgraph import (
+    ReplicationSubgraph,
+    find_replication_subgraph,
+    fits_resources,
+)
+from repro.core.weights import sharing_table, subgraph_weight
+from repro.machine.config import MachineConfig
+from repro.partition.partition import Partition
+
+
+@dataclasses.dataclass(frozen=True)
+class Candidate:
+    """A scored replication option for one communication."""
+
+    subgraph: ReplicationSubgraph
+    removable: list[int]
+    weight: Fraction
+
+
+def score_candidates(state: ReplicationState) -> list[Candidate]:
+    """Score every active communication against the current state.
+
+    Returns feasible candidates sorted by ascending weight (ties by
+    fewer new instances, then producer uid, for determinism).
+    """
+    subgraphs = [
+        find_replication_subgraph(state, comm) for comm in state.active_comms()
+    ]
+    sharing = sharing_table(subgraphs)
+    candidates = []
+    for subgraph in subgraphs:
+        if not subgraph.needed:
+            # Degenerate: every destination already holds every member;
+            # the communication disappears for free.
+            removable: list[int] = find_removable_instructions(state, subgraph)
+            candidates.append(
+                Candidate(subgraph=subgraph, removable=removable, weight=Fraction(0))
+            )
+            continue
+        if not fits_resources(subgraph, state):
+            continue
+        removable = find_removable_instructions(state, subgraph)
+        weight = subgraph_weight(state, subgraph, removable, sharing)
+        candidates.append(
+            Candidate(subgraph=subgraph, removable=removable, weight=weight)
+        )
+    candidates.sort(
+        key=lambda c: (c.weight, c.subgraph.n_new_instances, c.subgraph.comm)
+    )
+    return candidates
+
+
+def replicate(
+    partition: Partition,
+    machine: MachineConfig,
+    ii: int,
+    spare_comms: int = 0,
+    max_rounds: int | None = None,
+) -> ReplicationPlan:
+    """Run the replication algorithm; see the module docstring.
+
+    Args:
+        partition: cluster assignment of the loop's DDG.
+        machine: target machine (must have buses when comms exist).
+        ii: the candidate initiation interval.
+        spare_comms: extra communications to remove beyond the paper's
+            stop rule (ablation only; 0 reproduces the paper).
+        max_rounds: safety bound on replication rounds (defaults to the
+            initial communication count).
+
+    Returns:
+        A plan; ``plan.feasible`` is False when the bus would still be
+        overloaded, in which case the caller raises the II and retries.
+    """
+    state = ReplicationState(partition, machine, ii)
+    initial = state.nof_coms()
+    if initial == 0 or not machine.is_clustered:
+        return state.to_plan(initial_coms=initial, feasible=True)
+
+    rounds = max_rounds if max_rounds is not None else initial + spare_comms
+    spare = spare_comms
+    removed = 0
+
+    # extra_coms is re-derived from the state every round rather than
+    # counted down: removing instructions can silently kill *other*
+    # communications (a deleted consumer may have been the only foreign
+    # reader of some value).
+    while removed < rounds:
+        extra = state.extra_coms()
+        spare_round = extra == 0 and spare > 0 and state.nof_coms() > 0
+        if extra == 0 and not spare_round:
+            break
+        candidates = score_candidates(state)
+        if not candidates:
+            return state.to_plan(initial_coms=initial, feasible=extra == 0)
+        best = candidates[0]
+        state.apply(best.subgraph.comm, dict(best.subgraph.needed), best.removable)
+        removed += 1
+        if spare_round:
+            spare -= 1
+
+    return state.to_plan(initial_coms=initial, feasible=state.extra_coms() == 0)

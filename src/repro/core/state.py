@@ -1,0 +1,171 @@
+"""Mutable working state of the replication algorithm.
+
+The state tracks, on top of a fixed (DDG, partition) pair, the three
+mutations replication performs (section 3): replicas added to clusters,
+original instructions removed as useless, and communications
+eliminated. Every structural query the algorithm needs — where a value
+is present, which clusters still need its broadcast, per-cluster
+resource usage — is answered against the *current* state, which is what
+makes the section 3.4 subgraph updates fall out naturally: subgraphs
+and destinations are simply recomputed against the evolved state.
+"""
+
+from __future__ import annotations
+
+from repro.core.plan import ReplicationPlan
+from repro.ddg.graph import Ddg, EdgeKind
+from repro.machine.config import MachineConfig
+from repro.machine.resources import FuKind
+from repro.partition.partition import Partition
+
+
+class ReplicationState:
+    """Evolving replication decisions for one loop at one II."""
+
+    def __init__(self, partition: Partition, machine: MachineConfig, ii: int) -> None:
+        self.partition = partition
+        self.machine = machine
+        self.ii = ii
+        self.replicas: dict[int, set[int]] = {}
+        self.removed: set[int] = set()
+        self.removed_comms: set[int] = set()
+
+    @classmethod
+    def from_plan(
+        cls,
+        partition: Partition,
+        machine: MachineConfig,
+        ii: int,
+        plan: ReplicationPlan,
+    ) -> "ReplicationState":
+        """Resume from an earlier plan (used by the section 5.1 pass)."""
+        state = cls(partition, machine, ii)
+        state.replicas = {uid: set(cs) for uid, cs in plan.replicas.items()}
+        state.removed = set(plan.removed)
+        state.removed_comms = set(plan.removed_comms)
+        return state
+
+    @property
+    def ddg(self) -> Ddg:
+        """The loop being transformed."""
+        return self.partition.ddg
+
+    # ------------------------------------------------------------------
+    # Presence and communications
+    # ------------------------------------------------------------------
+
+    def present_clusters(self, uid: int) -> set[int]:
+        """Clusters holding an instance (original or replica) of ``uid``."""
+        clusters = set(self.replicas.get(uid, ()))
+        if uid not in self.removed:
+            clusters.add(self.partition.cluster_of(uid))
+        return clusters
+
+    def consumer_clusters(self, uid: int) -> set[int]:
+        """Clusters holding an instance of any register consumer."""
+        clusters: set[int] = set()
+        for edge in self.ddg.out_edges(uid):
+            if edge.kind is EdgeKind.REGISTER:
+                clusters |= self.present_clusters(edge.dst)
+        return clusters
+
+    def comm_destinations(self, uid: int) -> set[int]:
+        """Clusters that still need ``uid``'s value over the bus."""
+        if uid in self.removed_comms:
+            return set()
+        return self.consumer_clusters(uid) - self.present_clusters(uid)
+
+    def has_comm(self, uid: int) -> bool:
+        """True when ``uid``'s value still crosses clusters."""
+        return bool(self.comm_destinations(uid))
+
+    def active_comms(self) -> list[int]:
+        """Producers whose values still communicate, in uid order."""
+        return [uid for uid in self.ddg.node_ids() if self.has_comm(uid)]
+
+    def nof_coms(self) -> int:
+        """Current number of communications."""
+        return len(self.active_comms())
+
+    def extra_coms(self) -> int:
+        """Paper section 3: communications beyond the bus capacity."""
+        return max(0, self.nof_coms() - self.machine.bus.capacity(self.ii))
+
+    # ------------------------------------------------------------------
+    # Resource accounting
+    # ------------------------------------------------------------------
+
+    def usage(self, kind: FuKind, cluster: int) -> int:
+        """Instances using ``kind`` units currently placed in ``cluster``."""
+        count = 0
+        for uid in self.ddg.node_ids():
+            if self.ddg.node(uid).fu_kind is not kind:
+                continue
+            if cluster in self.present_clusters(uid):
+                count += 1
+        return count
+
+    def usage_table(self) -> list[dict[FuKind, int]]:
+        """Per-cluster, per-kind instance counts for the current state."""
+        table = [
+            {kind: 0 for kind in FuKind}
+            for _ in range(self.machine.n_clusters)
+        ]
+        for uid in self.ddg.node_ids():
+            kind = self.ddg.node(uid).fu_kind
+            for cluster in self.present_clusters(uid):
+                table[cluster][kind] += 1
+        return table
+
+    def register_parents(self, uid: int) -> list[int]:
+        """Uids producing register values ``uid`` consumes."""
+        return [
+            edge.src
+            for edge in self.ddg.in_edges(uid)
+            if edge.kind is EdgeKind.REGISTER
+        ]
+
+    def register_children(self, uid: int) -> list[int]:
+        """Uids consuming ``uid``'s register value."""
+        return [
+            edge.dst
+            for edge in self.ddg.out_edges(uid)
+            if edge.kind is EdgeKind.REGISTER
+        ]
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def apply(
+        self,
+        comm: int,
+        needed: dict[int, set[int]],
+        removable: list[int],
+    ) -> None:
+        """Commit one replication: kill ``comm``, add replicas, remove dead ops.
+
+        Args:
+            comm: producer uid whose communication is eliminated.
+            needed: node uid -> clusters where a replica must be created.
+            removable: original uids that become useless (section 3.2).
+        """
+        for uid, clusters in needed.items():
+            if clusters:
+                self.replicas.setdefault(uid, set()).update(clusters)
+        self.removed_comms.add(comm)
+        self.removed.update(removable)
+
+    def to_plan(self, initial_coms: int, feasible: bool = True) -> ReplicationPlan:
+        """Freeze the state into a :class:`ReplicationPlan`."""
+        return ReplicationPlan(
+            replicas={
+                uid: frozenset(clusters)
+                for uid, clusters in self.replicas.items()
+                if clusters
+            },
+            removed=frozenset(self.removed),
+            removed_comms=frozenset(self.removed_comms),
+            initial_coms=initial_coms,
+            feasible=feasible,
+        )

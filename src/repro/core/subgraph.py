@@ -1,0 +1,104 @@
+"""Replication subgraphs (section 3.1, Figure 4).
+
+The replication subgraph ``S_com`` of a communication is the minimum
+set of operations that must exist in every consuming cluster for the
+communication to disappear. It is found by walking register parents
+upward from the producer, stopping at any parent whose value is itself
+(still) communicated — the broadcast already makes that value available
+everywhere, so the walk need not go past it.
+
+Stores never appear in subgraphs: they produce no register value (the
+DDG enforces this), and memory dependences flow through the centralized
+cache regardless of cluster (section 3.1).
+
+Because membership is evaluated against the *current*
+:class:`~repro.core.state.ReplicationState`, the section 3.4 update
+rules are implicit: once a communication is removed its producer stops
+being a stopping point, so other subgraphs grow through it; and the
+per-cluster ``needed`` sets skip nodes that already have an instance in
+the target cluster, so shared nodes are never replicated twice.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.state import ReplicationState
+from repro.machine.resources import FuKind
+
+
+@dataclasses.dataclass(frozen=True)
+class ReplicationSubgraph:
+    """The subgraph of one communication, resolved per target cluster.
+
+    Attributes:
+        comm: producer uid of the communication being removed.
+        members: all uids in ``S_com`` (the producer included).
+        destinations: clusters that currently consume the broadcast.
+        needed: uid -> clusters where a replica must actually be
+            created (members already present in a destination are
+            skipped).
+    """
+
+    comm: int
+    members: frozenset[int]
+    destinations: frozenset[int]
+    needed: dict[int, frozenset[int]]
+
+    @property
+    def n_new_instances(self) -> int:
+        """Replica instances this replication would create."""
+        return sum(len(clusters) for clusters in self.needed.values())
+
+    def extra_ops(self, state: ReplicationState) -> dict[tuple[FuKind, int], int]:
+        """Instances added per (FU kind, cluster) by this replication."""
+        table: dict[tuple[FuKind, int], int] = {}
+        for uid, clusters in self.needed.items():
+            kind = state.ddg.node(uid).fu_kind
+            for cluster in clusters:
+                key = (kind, cluster)
+                table[key] = table.get(key, 0) + 1
+        return table
+
+
+def find_replication_subgraph(
+    state: ReplicationState, comm: int
+) -> ReplicationSubgraph:
+    """Figure 4's algorithm, evaluated against the current state."""
+    members: set[int] = {comm}
+    candidates: list[int] = list(state.register_parents(comm))
+    while candidates:
+        uid = candidates.pop()
+        if uid in members:
+            continue
+        if state.has_comm(uid):
+            # The value is broadcast anyway; replicas can read the copy.
+            continue
+        members.add(uid)
+        candidates.extend(state.register_parents(uid))
+
+    destinations = frozenset(state.comm_destinations(comm))
+    needed = {
+        uid: frozenset(destinations - state.present_clusters(uid))
+        for uid in members
+    }
+    return ReplicationSubgraph(
+        comm=comm,
+        members=frozenset(members),
+        destinations=destinations,
+        needed={uid: clusters for uid, clusters in needed.items() if clusters},
+    )
+
+
+def fits_resources(subgraph: ReplicationSubgraph, state: ReplicationState) -> bool:
+    """True when every destination cluster can absorb the replicas.
+
+    A cluster can absorb them when, for each FU kind, current usage plus
+    the subgraph's extra operations stays within ``units * II`` issue
+    slots — the same budget the modulo reservation table enforces.
+    """
+    for (kind, cluster), extra in subgraph.extra_ops(state).items():
+        capacity = state.machine.fu_count(cluster, kind) * state.ii
+        if state.usage(kind, cluster) + extra > capacity:
+            return False
+    return True

@@ -1,0 +1,64 @@
+"""Loop unrolling — the related-work alternative (section 6).
+
+Sánchez & González showed that unrolling the loop body before
+partitioning also removes most inter-cluster communications: with ``U``
+copies of the body in flight, the partitioner can place whole copies per
+cluster so cross-copy edges (mostly the induction recurrence) are the
+only traffic. The cost is code size — the kernel grows by ``U`` — which
+is why the paper argues replication is preferable for DSPs.
+
+Unrolling a DDG by ``U`` creates copies ``x#0 .. x#U-1`` of every node;
+an edge ``(u, v, d)`` becomes, for each copy ``i``, an edge
+``(u#i, v#{(i+d) mod U})`` with distance ``(i + d) // U`` — the value
+produced by copy ``i`` at distance ``d`` lands ``i + d`` body-instances
+later, which is ``(i+d) // U`` unrolled iterations ahead.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.ddg.graph import Ddg
+
+
+def unroll_ddg(ddg: Ddg, factor: int) -> Ddg:
+    """The loop body replicated ``factor`` times; see module docstring."""
+    if factor < 1:
+        raise ValueError(f"unroll factor must be >= 1, got {factor}")
+    if factor == 1:
+        return ddg.copy()
+    unrolled = Ddg(name=f"{ddg.name}_x{factor}")
+    copies: dict[tuple[int, int], int] = {}
+    for copy_index in range(factor):
+        for node in ddg.nodes():
+            new = unrolled.add_node(f"{node.name}#{copy_index}", node.op_class)
+            copies[(node.uid, copy_index)] = new.uid
+    for edge in ddg.edges():
+        for copy_index in range(factor):
+            target_instance = copy_index + edge.distance
+            unrolled.add_edge(
+                copies[(edge.src, copy_index)],
+                copies[(edge.dst, target_instance % factor)],
+                distance=target_instance // factor,
+                kind=edge.kind,
+            )
+    return unrolled
+
+
+@dataclasses.dataclass(frozen=True)
+class UnrolledProfile:
+    """Profile adjustment for an unrolled loop.
+
+    ``iterations`` of the original loop become
+    ``ceil(iterations / factor)`` unrolled iterations (the remainder
+    runs through the unrolled body too — a mild approximation that
+    favours unrolling, i.e. is conservative for the paper's claim).
+    """
+
+    factor: int
+    iterations: int
+
+    @property
+    def unrolled_iterations(self) -> int:
+        """Kernel iterations of the unrolled loop."""
+        return -(-self.iterations // self.factor)

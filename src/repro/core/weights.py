@@ -1,0 +1,100 @@
+"""The replication weight heuristic (section 3.3).
+
+Every candidate subgraph gets a weight estimating the resource pressure
+its replication would add; the algorithm replicates the lightest one
+first. For a node ``v`` replicated into cluster ``c``::
+
+    weight(v, c) = (usage(res, c) + extra_ops(res, c, S))
+                   / (available(res, c) * II)
+                   / |{S_C : v in S_C}|
+
+where ``res`` is the FU kind of ``v``, ``usage`` counts instances of
+that kind currently in ``c``, ``extra_ops`` counts instances of that
+kind the whole subgraph would add to ``c``, and the final division
+shares the cost of ``v`` among all current subgraphs that would also
+benefit from a copy of ``v`` in ``c``.
+
+The subgraph weight is the sum over all (node, cluster) replications,
+minus a benefit term for each instruction that becomes removable. We
+charge a removable instruction the weight formula evaluated at its home
+cluster *after* the removal, i.e. ``(usage - k) / (available * II)``
+for the ``k``-th instruction removed from that (kind, cluster) — this
+matches the paper's worked S_E example exactly (5 instructions in
+cluster 3, one removed, benefit 4/8). The Figure 6 update example uses
+a slightly different benefit for multi-node removals; the paper's two
+examples are mutually inconsistent there, and we follow the section 3.3
+definition (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.core.state import ReplicationState
+from repro.core.subgraph import ReplicationSubgraph
+from repro.machine.resources import FuKind
+
+#: Type of the sharing table: (uid, cluster) -> number of subgraphs
+#: that would place a replica of uid in cluster.
+SharingTable = dict[tuple[int, int], int]
+
+
+def sharing_table(subgraphs: list[ReplicationSubgraph]) -> SharingTable:
+    """How many current subgraphs want each (node, cluster) replica."""
+    table: SharingTable = {}
+    for subgraph in subgraphs:
+        for uid, clusters in subgraph.needed.items():
+            for cluster in clusters:
+                key = (uid, cluster)
+                table[key] = table.get(key, 0) + 1
+    return table
+
+
+def node_weight(
+    state: ReplicationState,
+    uid: int,
+    cluster: int,
+    extra_ops: dict[tuple[FuKind, int], int],
+    sharing: SharingTable,
+) -> Fraction:
+    """Cost of replicating one node into one cluster."""
+    kind = state.ddg.node(uid).fu_kind
+    available = state.machine.fu_count(cluster, kind)
+    usage = state.usage(kind, cluster)
+    extra = extra_ops.get((kind, cluster), 0)
+    base = Fraction(usage + extra, available * state.ii)
+    return base / max(1, sharing.get((uid, cluster), 1))
+
+
+def removal_benefit(
+    state: ReplicationState,
+    removable: list[int],
+) -> Fraction:
+    """Summed benefit of deleting the removable instructions."""
+    benefit = Fraction(0)
+    seen: dict[tuple[FuKind, int], int] = {}
+    for uid in removable:
+        kind = state.ddg.node(uid).fu_kind
+        cluster = state.partition.cluster_of(uid)
+        key = (kind, cluster)
+        seen[key] = seen.get(key, 0) + 1
+        usage = state.usage(kind, cluster)
+        available = state.machine.fu_count(cluster, kind)
+        remaining = max(0, usage - seen[key])
+        benefit += Fraction(remaining, available * state.ii)
+    return benefit
+
+
+def subgraph_weight(
+    state: ReplicationState,
+    subgraph: ReplicationSubgraph,
+    removable: list[int],
+    sharing: SharingTable,
+) -> Fraction:
+    """Total weight of a candidate replication (lower is better)."""
+    extra_ops = subgraph.extra_ops(state)
+    total = Fraction(0)
+    for uid, clusters in subgraph.needed.items():
+        for cluster in clusters:
+            total += node_weight(state, uid, cluster, extra_ops, sharing)
+    return total - removal_benefit(state, removable)

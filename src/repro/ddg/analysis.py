@@ -1,0 +1,250 @@
+"""Loop analysis: MII bounds, recurrences, ASAP/ALAP times and slack.
+
+Modulo scheduling theory (section 2.2) needs three quantities:
+
+* **ResMII** — resource-limited lower bound on the II: the most loaded
+  functional-unit kind dictates how often an iteration can start.
+* **RecMII** — recurrence-limited lower bound: every dependence cycle
+  ``c`` forces ``II >= ceil(latency(c) / distance(c))``.
+* **ASAP/ALAP** times at a candidate II — earliest/latest start cycles
+  consistent with dependences where an edge ``(u, v, d)`` contributes the
+  constraint ``t(v) >= t(u) + latency(u) - II * d``. Slack is the gap
+  between the two and drives both the partitioner's edge weights and the
+  swing-modulo-scheduling priority order.
+
+All computations here are from scratch (Tarjan SCCs, Bellman-Ford style
+relaxation) — no external graph library.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.ddg.graph import Ddg, DdgError, Edge
+from repro.machine.config import MachineConfig
+from repro.machine.resources import FuKind
+
+
+def res_mii(ddg: Ddg, machine: MachineConfig) -> int:
+    """Resource-constrained minimum initiation interval.
+
+    Uses the machine-wide FU totals: a perfect partition could spread
+    each kind's operations across all clusters, so the lower bound is
+    ``ceil(ops_of_kind / total_units_of_kind)`` maximized over kinds.
+    """
+    counts = ddg.op_counts()
+    bound = 1
+    for kind in FuKind:
+        total_units = machine.total_fu_count(kind)
+        if counts[kind] and total_units == 0:
+            raise DdgError(f"machine has no {kind.value} units for {counts[kind]} ops")
+        if total_units:
+            bound = max(bound, math.ceil(counts[kind] / total_units))
+    return bound
+
+
+def _edge_weight(edge: Edge, src_latency: int, ii: int) -> int:
+    """Longest-path weight of a dependence at a candidate II."""
+    return src_latency - ii * edge.distance
+
+
+def _has_positive_cycle(ddg: Ddg, ii: int) -> bool:
+    """True when some dependence cycle has positive weight at ``ii``.
+
+    Bellman-Ford longest-path relaxation: if distances keep improving
+    after |V| rounds, a positive-weight cycle exists and the II is
+    infeasible for the recurrences.
+    """
+    dist = {uid: 0 for uid in ddg.node_ids()}
+    n = len(dist)
+    for round_index in range(n):
+        changed = False
+        for edge in ddg.edges():
+            weight = _edge_weight(edge, ddg.node(edge.src).latency, ii)
+            if dist[edge.src] + weight > dist[edge.dst]:
+                dist[edge.dst] = dist[edge.src] + weight
+                changed = True
+        if not changed:
+            return False
+    return True
+
+
+def rec_mii(ddg: Ddg) -> int:
+    """Recurrence-constrained minimum initiation interval.
+
+    Binary search for the smallest II with no positive-weight cycle.
+    The upper bracket is the sum of all latencies, which trivially
+    satisfies every recurrence.
+    """
+    if len(ddg) == 0:
+        return 1
+    high = max(1, sum(node.latency for node in ddg.nodes()))
+    if _has_positive_cycle(ddg, high):  # pragma: no cover - defensive
+        raise DdgError("graph has a zero-distance cycle; not a valid loop DDG")
+    low = 1
+    while low < high:
+        mid = (low + high) // 2
+        if _has_positive_cycle(ddg, mid):
+            low = mid + 1
+        else:
+            high = mid
+    return low
+
+
+def mii(ddg: Ddg, machine: MachineConfig) -> int:
+    """The paper's MII = max(ResMII, RecMII)."""
+    return max(res_mii(ddg, machine), rec_mii(ddg))
+
+
+def tarjan_scc(nodes, successors) -> list[set[int]]:
+    """Generic iterative Tarjan SCC.
+
+    Args:
+        nodes: iterable of hashable node ids.
+        successors: callable mapping a node id to its successor ids.
+
+    Returns components as sets; singletons without self loops are
+    trivial components (no recurrence).
+    """
+    index: dict[int, int] = {}
+    lowlink: dict[int, int] = {}
+    on_stack: set[int] = set()
+    stack: list[int] = []
+    components: list[set[int]] = []
+    counter = 0
+
+    for root in nodes:
+        if root in index:
+            continue
+        work = [(root, iter(successors(root)))]
+        index[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, succ_iter = work[-1]
+            advanced = False
+            for succ in succ_iter:
+                if succ not in index:
+                    index[succ] = lowlink[succ] = counter
+                    counter += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(successors(succ))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: set[int] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
+
+
+def strongly_connected_components(ddg: Ddg) -> list[set[int]]:
+    """Tarjan SCCs of a DDG; see :func:`tarjan_scc`."""
+    return tarjan_scc(
+        list(ddg.node_ids()), lambda u: [e.dst for e in ddg.out_edges(u)]
+    )
+
+
+def recurrence_components(ddg: Ddg) -> list[set[int]]:
+    """SCCs that actually contain a cycle (size > 1 or a self loop)."""
+    result = []
+    for component in strongly_connected_components(ddg):
+        if len(component) > 1:
+            result.append(component)
+            continue
+        (only,) = component
+        if any(e.dst == only for e in ddg.out_edges(only)):
+            result.append(component)
+    return result
+
+
+@dataclasses.dataclass
+class LoopAnalysis:
+    """ASAP/ALAP schedule-time bounds of a DDG at a candidate II.
+
+    Attributes:
+        ii: the candidate initiation interval the times were computed at.
+        asap: earliest feasible start cycle of each node.
+        alap: latest start cycle keeping the critical-path length.
+        length: critical-path length (one-iteration schedule estimate).
+    """
+
+    ii: int
+    asap: dict[int, int]
+    alap: dict[int, int]
+    length: int
+
+    def slack(self, uid: int) -> int:
+        """Scheduling freedom of a node (0 on the critical path)."""
+        return self.alap[uid] - self.asap[uid]
+
+    def edge_slack(self, edge: Edge, src_latency: int) -> int:
+        """Cycles the edge can stretch without growing the schedule.
+
+        At distance ``d`` the consumer of iteration ``i`` reads a value
+        produced ``d`` iterations earlier, gaining ``d * II`` cycles.
+        """
+        return (
+            self.alap[edge.dst]
+            - self.asap[edge.src]
+            - src_latency
+            + edge.distance * self.ii
+        )
+
+
+def analyze(ddg: Ddg, ii: int, max_rounds: int | None = None) -> LoopAnalysis:
+    """Compute ASAP/ALAP times at a candidate II.
+
+    Uses iterative longest-path relaxation; converges whenever
+    ``ii >= rec_mii(ddg)`` (no positive cycles). Raises
+    :class:`~repro.ddg.graph.DdgError` when asked to analyze an II below
+    the recurrence bound (the relaxation would diverge).
+    """
+    if len(ddg) == 0:
+        return LoopAnalysis(ii=ii, asap={}, alap={}, length=0)
+    rounds = max_rounds if max_rounds is not None else len(ddg) + 1
+    asap = {uid: 0 for uid in ddg.node_ids()}
+    for round_index in range(rounds):
+        changed = False
+        for edge in ddg.edges():
+            bound = asap[edge.src] + _edge_weight(edge, ddg.node(edge.src).latency, ii)
+            if bound > asap[edge.dst]:
+                asap[edge.dst] = bound
+                changed = True
+        if not changed:
+            break
+    else:
+        raise DdgError(f"ASAP relaxation diverged: II={ii} below RecMII?")
+
+    length = max(asap[uid] + ddg.node(uid).latency for uid in ddg.node_ids())
+
+    alap = {uid: length - ddg.node(uid).latency for uid in ddg.node_ids()}
+    for round_index in range(rounds):
+        changed = False
+        for edge in ddg.edges():
+            bound = alap[edge.dst] - _edge_weight(edge, ddg.node(edge.src).latency, ii)
+            if bound < alap[edge.src]:
+                alap[edge.src] = bound
+                changed = True
+        if not changed:
+            break
+    else:  # pragma: no cover - symmetric to the ASAP divergence
+        raise DdgError(f"ALAP relaxation diverged: II={ii} below RecMII?")
+
+    return LoopAnalysis(ii=ii, asap=asap, alap=alap, length=length)

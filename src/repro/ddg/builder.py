@@ -1,0 +1,93 @@
+"""A small fluent builder for hand-written DDGs.
+
+Used by tests, examples and the worked paper figures, where graphs are
+described by node labels:
+
+>>> from repro.machine.resources import OpClass
+>>> b = DdgBuilder("fig3")
+>>> _ = b.int_op("A").int_op("B")
+>>> _ = b.dep("A", "B")
+>>> g = b.build()
+>>> len(g)
+2
+"""
+
+from __future__ import annotations
+
+from repro.ddg.graph import Ddg, DdgError, EdgeKind, Node
+from repro.machine.resources import OpClass
+
+
+class DdgBuilder:
+    """Accumulates nodes by label, then emits a :class:`Ddg`."""
+
+    def __init__(self, name: str = "loop") -> None:
+        self._ddg = Ddg(name=name)
+        self._by_label: dict[str, Node] = {}
+
+    # ------------------------------------------------------------------
+    # Node constructors
+    # ------------------------------------------------------------------
+
+    def op(self, label: str, op_class: OpClass) -> "DdgBuilder":
+        """Add an operation with an explicit class."""
+        if label in self._by_label:
+            raise DdgError(f"duplicate node label {label!r}")
+        self._by_label[label] = self._ddg.add_node(label, op_class)
+        return self
+
+    def int_op(self, label: str) -> "DdgBuilder":
+        """Add an integer ALU operation."""
+        return self.op(label, OpClass.INT_ARITH)
+
+    def fp_op(self, label: str) -> "DdgBuilder":
+        """Add a floating-point add/sub operation."""
+        return self.op(label, OpClass.FP_ARITH)
+
+    def fp_mul(self, label: str) -> "DdgBuilder":
+        """Add a floating-point multiply."""
+        return self.op(label, OpClass.FP_MUL)
+
+    def load(self, label: str) -> "DdgBuilder":
+        """Add a load."""
+        return self.op(label, OpClass.LOAD)
+
+    def store(self, label: str) -> "DdgBuilder":
+        """Add a store."""
+        return self.op(label, OpClass.STORE)
+
+    # ------------------------------------------------------------------
+    # Edge constructors
+    # ------------------------------------------------------------------
+
+    def dep(self, src: str, dst: str, distance: int = 0) -> "DdgBuilder":
+        """Register dependence ``src -> dst``."""
+        self._ddg.add_edge(
+            self._by_label[src], self._by_label[dst], distance, EdgeKind.REGISTER
+        )
+        return self
+
+    def mem_dep(self, src: str, dst: str, distance: int = 0) -> "DdgBuilder":
+        """Memory-order dependence ``src -> dst`` (through the cache)."""
+        self._ddg.add_edge(
+            self._by_label[src], self._by_label[dst], distance, EdgeKind.MEMORY
+        )
+        return self
+
+    def chain(self, *labels: str) -> "DdgBuilder":
+        """Register dependences along consecutive labels."""
+        for src, dst in zip(labels, labels[1:]):
+            self.dep(src, dst)
+        return self
+
+    # ------------------------------------------------------------------
+    # Finalization
+    # ------------------------------------------------------------------
+
+    def node(self, label: str) -> Node:
+        """Look up a node added earlier."""
+        return self._by_label[label]
+
+    def build(self) -> Ddg:
+        """Return the accumulated graph."""
+        return self._ddg

@@ -1,0 +1,115 @@
+"""Graphviz DOT export for DDGs, partitions and placed graphs.
+
+Pure text generation — no graphviz dependency; paste the output into
+any DOT renderer. Clusters are drawn as subgraph boxes, loop-carried
+edges as dashed arrows labelled with their distance, memory edges in
+grey, COPY instances as ellipses on the bus.
+"""
+
+from __future__ import annotations
+
+from repro.ddg.graph import Ddg, EdgeKind
+from repro.partition.partition import Partition
+from repro.schedule.placed import PlacedGraph
+
+#: Node fill colors per FU kind.
+_KIND_COLORS = {"int": "lightblue", "fp": "lightyellow", "mem": "lightpink"}
+
+
+def _node_attrs(name: str, op: str, kind: str) -> str:
+    color = _KIND_COLORS.get(kind, "white")
+    return (
+        f'[label="{name}\\n{op}", shape=box, style=filled, '
+        f'fillcolor={color}]'
+    )
+
+
+def _edge_attrs(distance: int, kind: EdgeKind) -> str:
+    attrs = []
+    if distance:
+        attrs.append(f'label="{distance}"')
+        attrs.append("style=dashed")
+    if kind is EdgeKind.MEMORY:
+        attrs.append("color=grey")
+    return f" [{', '.join(attrs)}]" if attrs else ""
+
+
+def ddg_to_dot(ddg: Ddg) -> str:
+    """DOT text for a bare dependence graph."""
+    lines = [f'digraph "{ddg.name}" {{', "  rankdir=TB;"]
+    for node in ddg.nodes():
+        lines.append(
+            f"  n{node.uid} "
+            + _node_attrs(node.name, node.op_class.value, node.fu_kind.value)
+            + ";"
+        )
+    for edge in ddg.edges():
+        lines.append(
+            f"  n{edge.src} -> n{edge.dst}"
+            + _edge_attrs(edge.distance, edge.kind)
+            + ";"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def partition_to_dot(partition: Partition) -> str:
+    """DOT text with one subgraph box per cluster."""
+    ddg = partition.ddg
+    lines = [f'digraph "{ddg.name}" {{', "  rankdir=TB;", "  compound=true;"]
+    for cluster in range(partition.n_clusters):
+        lines.append(f"  subgraph cluster_{cluster} {{")
+        lines.append(f'    label="cluster {cluster}";')
+        for uid in sorted(partition.nodes_in(cluster)):
+            node = ddg.node(uid)
+            lines.append(
+                f"    n{uid} "
+                + _node_attrs(node.name, node.op_class.value, node.fu_kind.value)
+                + ";"
+            )
+        lines.append("  }")
+    for edge in ddg.edges():
+        crossing = partition.cluster_of(edge.src) != partition.cluster_of(edge.dst)
+        attrs = _edge_attrs(edge.distance, edge.kind)
+        if crossing and edge.kind is EdgeKind.REGISTER:
+            attrs = attrs[:-1] + ", color=red, penwidth=2]" if attrs else (
+                " [color=red, penwidth=2]"
+            )
+        lines.append(f"  n{edge.src} -> n{edge.dst}{attrs};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def placed_to_dot(graph: PlacedGraph) -> str:
+    """DOT text for a placed graph (replicas and COPYs included)."""
+    lines = [f'digraph "{graph.name}" {{', "  rankdir=TB;"]
+    by_cluster: dict[int, list] = {}
+    for inst in graph.instances():
+        by_cluster.setdefault(inst.cluster, []).append(inst)
+    for cluster in sorted(by_cluster):
+        lines.append(f"  subgraph cluster_{cluster} {{")
+        lines.append(f'    label="cluster {cluster}";')
+        for inst in by_cluster[cluster]:
+            if inst.is_copy:
+                lines.append(
+                    f'    i{inst.iid} [label="{inst.name}", shape=ellipse, '
+                    f"style=filled, fillcolor=orange];"
+                )
+            else:
+                lines.append(
+                    f"    i{inst.iid} "
+                    + _node_attrs(
+                        inst.name, inst.op_class.value, inst.fu_kind.value
+                    )
+                    + ";"
+                )
+        lines.append("  }")
+    for inst in graph.instances():
+        for edge in graph.out_edges(inst.iid):
+            lines.append(
+                f"  i{edge.src} -> i{edge.dst}"
+                + _edge_attrs(edge.distance, edge.kind)
+                + ";"
+            )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""DDG serialization: JSON round-trip and a tiny text format.
+
+The JSON schema is deliberately boring so loops can be produced by any
+external tool (a real compiler frontend, a trace analyzer, a script):
+
+```json
+{
+  "name": "daxpy",
+  "nodes": [{"name": "i", "op": "int_arith"}, ...],
+  "edges": [{"src": "i", "dst": "addr_x", "distance": 0, "kind": "register"}]
+}
+```
+
+Node order is significant only for uid assignment; names must be unique
+within a file (the in-memory graph tolerates duplicates, files do not).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.ddg.graph import Ddg, DdgError, EdgeKind
+from repro.machine.resources import OpClass
+
+
+def to_dict(ddg: Ddg) -> dict:
+    """Plain-dict form of a graph (JSON-ready)."""
+    names = [node.name for node in ddg.nodes()]
+    if len(set(names)) != len(names):
+        raise DdgError("serialization requires unique node names")
+    by_uid = {node.uid: node.name for node in ddg.nodes()}
+    return {
+        "name": ddg.name,
+        "nodes": [
+            {"name": node.name, "op": node.op_class.value}
+            for node in ddg.nodes()
+        ],
+        "edges": [
+            {
+                "src": by_uid[edge.src],
+                "dst": by_uid[edge.dst],
+                "distance": edge.distance,
+                "kind": edge.kind.value,
+            }
+            for edge in ddg.edges()
+        ],
+    }
+
+
+def from_dict(data: dict) -> Ddg:
+    """Rebuild a graph from :func:`to_dict` output."""
+    ddg = Ddg(name=data.get("name", "loop"))
+    by_name = {}
+    for node_data in data["nodes"]:
+        name = node_data["name"]
+        if name in by_name:
+            raise DdgError(f"duplicate node name {name!r} in file")
+        by_name[name] = ddg.add_node(name, OpClass(node_data["op"]))
+    for edge_data in data.get("edges", []):
+        ddg.add_edge(
+            by_name[edge_data["src"]],
+            by_name[edge_data["dst"]],
+            distance=edge_data.get("distance", 0),
+            kind=EdgeKind(edge_data.get("kind", "register")),
+        )
+    return ddg
+
+
+def dumps(ddg: Ddg, indent: int | None = 2) -> str:
+    """Serialize a graph to a JSON string."""
+    return json.dumps(to_dict(ddg), indent=indent)
+
+
+def loads(text: str) -> Ddg:
+    """Parse a graph from a JSON string."""
+    return from_dict(json.loads(text))
+
+
+def save(ddg: Ddg, path: str) -> None:
+    """Write a graph to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(ddg))
+        handle.write("\n")
+
+
+def load(path: str) -> Ddg:
+    """Read a graph from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads(handle.read())

@@ -1,0 +1,48 @@
+"""Clustered VLIW machine model.
+
+This package describes the statically scheduled clustered
+microarchitecture of the paper (section 2.1): homogeneous clusters, each
+with its own functional units and register file, a set of shared
+inter-cluster register buses with a fixed latency, and a centralized
+memory hierarchy.
+
+The main entry points are:
+
+* :class:`~repro.machine.config.MachineConfig` — a full machine
+  description, buildable from the paper's ``wcxbylzr`` naming scheme via
+  :func:`~repro.machine.config.parse_config`.
+* :class:`~repro.machine.resources.FuKind` — the functional-unit kinds
+  (INT, FP, MEM) and per-opcode latencies from Table 1.
+"""
+
+from repro.machine.config import (
+    BusConfig,
+    ClusterConfig,
+    MachineConfig,
+    PAPER_CONFIG_NAMES,
+    heterogeneous_machine,
+    parse_config,
+    unified_machine,
+)
+from repro.machine.resources import (
+    FuKind,
+    LATENCIES,
+    OpClass,
+    fu_kind_of,
+    latency_of,
+)
+
+__all__ = [
+    "BusConfig",
+    "ClusterConfig",
+    "MachineConfig",
+    "PAPER_CONFIG_NAMES",
+    "heterogeneous_machine",
+    "parse_config",
+    "unified_machine",
+    "FuKind",
+    "LATENCIES",
+    "OpClass",
+    "fu_kind_of",
+    "latency_of",
+]

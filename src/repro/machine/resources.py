@@ -1,0 +1,120 @@
+"""Functional-unit kinds, operation classes and latencies (Table 1).
+
+The paper's machine has three functional-unit kinds per cluster — integer
+units, floating-point units and memory ports — and assigns latencies per
+operation class:
+
+==============  ====  ===
+Operation       INT   FP
+==============  ====  ===
+MEM             2     2
+ARITH           1     3
+MUL / ABS       2     6
+DIV / SQRT      6     18
+==============  ====  ===
+
+Operation classes are abstract: the reproduction never evaluates
+arithmetic, only dataflow timing, so an operation is fully described by
+its class (which fixes its FU kind and latency).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class FuKind(enum.Enum):
+    """A kind of functional unit inside a cluster.
+
+    The paper's 12-issue machine has 4 units of each kind in total,
+    split evenly among clusters (Table 1).
+    """
+
+    INT = "int"
+    FP = "fp"
+    MEM = "mem"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FuKind.{self.name}"
+
+
+class OpClass(enum.Enum):
+    """Abstract operation classes with Table 1 latencies.
+
+    ``COPY`` is the special inter-cluster communication instruction
+    inserted by the scheduler (section 2.1); it executes on a bus, not on
+    a functional unit, and its latency is the bus latency of the machine
+    configuration.
+    """
+
+    # Memory operations (execute on MEM ports).
+    LOAD = "load"
+    STORE = "store"
+    # Integer operations (execute on INT units).
+    INT_ARITH = "int_arith"
+    INT_MUL = "int_mul"
+    INT_DIV = "int_div"
+    # Floating-point operations (execute on FP units).
+    FP_ARITH = "fp_arith"
+    FP_MUL = "fp_mul"
+    FP_ABS = "fp_abs"
+    FP_DIV = "fp_div"
+    FP_SQRT = "fp_sqrt"
+    # Inter-cluster communication (executes on a bus).
+    COPY = "copy"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"OpClass.{self.name}"
+
+
+#: Latency in cycles of each operation class (Table 1 of the paper).
+#: COPY latency is configuration-dependent and therefore absent here; use
+#: :meth:`repro.machine.config.MachineConfig.latency_of` to resolve it.
+LATENCIES: dict[OpClass, int] = {
+    OpClass.LOAD: 2,
+    OpClass.STORE: 2,
+    OpClass.INT_ARITH: 1,
+    OpClass.INT_MUL: 2,
+    OpClass.INT_DIV: 6,
+    OpClass.FP_ARITH: 3,
+    OpClass.FP_MUL: 6,
+    OpClass.FP_ABS: 6,
+    OpClass.FP_DIV: 18,
+    OpClass.FP_SQRT: 18,
+}
+
+#: Functional-unit kind required by each operation class.
+FU_KINDS: dict[OpClass, FuKind] = {
+    OpClass.LOAD: FuKind.MEM,
+    OpClass.STORE: FuKind.MEM,
+    OpClass.INT_ARITH: FuKind.INT,
+    OpClass.INT_MUL: FuKind.INT,
+    OpClass.INT_DIV: FuKind.INT,
+    OpClass.FP_ARITH: FuKind.FP,
+    OpClass.FP_MUL: FuKind.FP,
+    OpClass.FP_ABS: FuKind.FP,
+    OpClass.FP_DIV: FuKind.FP,
+    OpClass.FP_SQRT: FuKind.FP,
+}
+
+#: Operation classes that read or write memory. Stores are never
+#: replicated (section 3.1) because the cache is centralized.
+MEMORY_CLASSES = frozenset({OpClass.LOAD, OpClass.STORE})
+
+
+def latency_of(op_class: OpClass) -> int:
+    """Return the latency in cycles of ``op_class``.
+
+    Raises :class:`KeyError` for :attr:`OpClass.COPY`, whose latency is a
+    property of the machine configuration, not of the operation.
+    """
+    return LATENCIES[op_class]
+
+
+def fu_kind_of(op_class: OpClass) -> FuKind:
+    """Return the functional-unit kind that executes ``op_class``.
+
+    Raises :class:`KeyError` for :attr:`OpClass.COPY`, which executes on
+    an inter-cluster bus rather than a functional unit.
+    """
+    return FU_KINDS[op_class]

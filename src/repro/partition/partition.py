@@ -1,0 +1,176 @@
+"""The partition data structure and its induced communications.
+
+A partition maps every DDG node to a cluster. The quantities the rest of
+the compiler reads off a partition are:
+
+* the set of *communications*: nodes whose register value is consumed in
+  at least one other cluster. One produced value is one communication —
+  the register buses broadcast, so a value consumed in two foreign
+  clusters still costs a single bus transfer (this matches the paper's
+  Figure 3, where E feeding clusters 2 and 4 is one communication);
+* ``ii_part``: the initiation interval the bus fabric forces for that
+  many communications;
+* per-cluster, per-FU-kind load, used for resource feasibility.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.ddg.graph import Ddg, EdgeKind
+from repro.machine.config import MachineConfig
+from repro.machine.resources import FuKind
+
+
+class PartitionError(ValueError):
+    """Raised for malformed or infeasible partitions."""
+
+
+@dataclasses.dataclass(frozen=True)
+class CommInfo:
+    """One inter-cluster communication implied by a partition.
+
+    Attributes:
+        producer: uid of the node whose value crosses clusters.
+        src_cluster: cluster where the producer is placed.
+        dst_clusters: foreign clusters with at least one consumer.
+    """
+
+    producer: int
+    src_cluster: int
+    dst_clusters: frozenset[int]
+
+
+class Partition:
+    """An assignment of DDG nodes to clusters.
+
+    The class is deliberately cheap to copy (`with_move`) because the
+    refinement heuristics explore many neighbouring partitions.
+    """
+
+    def __init__(self, ddg: Ddg, assignment: dict[int, int], n_clusters: int) -> None:
+        if set(assignment) != set(ddg.node_ids()):
+            raise PartitionError("assignment must cover exactly the DDG nodes")
+        for uid, cluster in assignment.items():
+            if not 0 <= cluster < n_clusters:
+                raise PartitionError(f"node {uid} assigned to bad cluster {cluster}")
+        self._ddg = ddg
+        self._assignment = dict(assignment)
+        self._n_clusters = n_clusters
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def ddg(self) -> Ddg:
+        """The partitioned graph."""
+        return self._ddg
+
+    @property
+    def n_clusters(self) -> int:
+        """Number of clusters in the target machine."""
+        return self._n_clusters
+
+    def cluster_of(self, uid: int) -> int:
+        """Cluster holding node ``uid``."""
+        return self._assignment[uid]
+
+    def assignment(self) -> dict[int, int]:
+        """Copy of the node -> cluster map."""
+        return dict(self._assignment)
+
+    def nodes_in(self, cluster: int) -> list[int]:
+        """Uids placed in ``cluster``."""
+        return [uid for uid, c in self._assignment.items() if c == cluster]
+
+    def with_move(self, uid: int, cluster: int) -> "Partition":
+        """A new partition with one node moved."""
+        assignment = dict(self._assignment)
+        assignment[uid] = cluster
+        return Partition(self._ddg, assignment, self._n_clusters)
+
+    # ------------------------------------------------------------------
+    # Communications
+    # ------------------------------------------------------------------
+
+    def communications(self) -> list[CommInfo]:
+        """All communications the partition implies, in uid order.
+
+        Only REGISTER edges communicate; MEMORY edges go through the
+        shared cache regardless of placement.
+        """
+        comms = []
+        for uid in self._ddg.node_ids():
+            home = self._assignment[uid]
+            foreign = frozenset(
+                self._assignment[e.dst]
+                for e in self._ddg.out_edges(uid)
+                if e.kind is EdgeKind.REGISTER and self._assignment[e.dst] != home
+            )
+            if foreign:
+                comms.append(
+                    CommInfo(producer=uid, src_cluster=home, dst_clusters=foreign)
+                )
+        return comms
+
+    def nof_coms(self) -> int:
+        """Number of values that must cross clusters."""
+        return len(self.communications())
+
+    def ii_part(self, machine: MachineConfig) -> int:
+        """Minimum II at which the bus fabric fits all communications.
+
+        Inverts the paper's ``bus_coms = II / bus_lat * nof_buses``:
+        the smallest II whose capacity covers ``nof_coms``.
+        """
+        n = self.nof_coms()
+        if n == 0:
+            return 1
+        if machine.bus.count == 0:
+            raise PartitionError("communications on a machine without buses")
+        return machine.bus.latency * math.ceil(n / machine.bus.count)
+
+    # ------------------------------------------------------------------
+    # Resource load
+    # ------------------------------------------------------------------
+
+    def load(self, cluster: int, kind: FuKind) -> int:
+        """Operations of ``kind`` placed in ``cluster``."""
+        return sum(
+            1
+            for uid, c in self._assignment.items()
+            if c == cluster and self._ddg.node(uid).fu_kind is kind
+        )
+
+    def load_table(self) -> list[dict[FuKind, int]]:
+        """Per-cluster, per-kind operation counts."""
+        table = [{kind: 0 for kind in FuKind} for _ in range(self._n_clusters)]
+        for uid, cluster in self._assignment.items():
+            table[cluster][self._ddg.node(uid).fu_kind] += 1
+        return table
+
+    def fits_resources(self, machine: MachineConfig, ii: int) -> bool:
+        """True when every cluster's load fits in ``ii`` cycles."""
+        for cluster, loads in enumerate(self.load_table()):
+            for kind, count in loads.items():
+                if count > machine.fu_count(cluster, kind) * ii:
+                    return False
+        return True
+
+    def min_resource_ii(self, machine: MachineConfig) -> int:
+        """Smallest II at which every cluster's load fits."""
+        ii = 1
+        for cluster, loads in enumerate(self.load_table()):
+            for kind, count in loads.items():
+                units = machine.fu_count(cluster, kind)
+                if count:
+                    ii = max(ii, math.ceil(count / units))
+        return ii
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Partition(nodes={len(self._assignment)}, "
+            f"clusters={self._n_clusters}, coms={self.nof_coms()})"
+        )

@@ -1,0 +1,83 @@
+"""Partition refinement by greedy node moves.
+
+Whenever the II grows (Figure 2's feedback arc) every cluster gains
+issue slots, so a partition that was bus- or resource-bound may admit a
+better shape. Refinement repeatedly tries to move single nodes to other
+clusters, keeping any move that improves the pseudo-schedule metric, and
+stops at a local optimum or when the move budget runs out.
+
+Move candidates are restricted to *boundary* nodes — nodes with at least
+one register neighbour in another cluster — because interior moves can
+only create communications, never remove them.
+"""
+
+from __future__ import annotations
+
+from repro.ddg.graph import EdgeKind
+from repro.machine.config import MachineConfig
+from repro.partition.partition import Partition
+from repro.partition.pseudo import pseudo_schedule
+
+#: Upper bound on accepted moves per refinement call, to bound runtime
+#: on large loops (each accepted move rescans the boundary).
+_DEFAULT_MOVE_BUDGET = 64
+
+
+def _boundary_nodes(partition: Partition) -> list[int]:
+    """Nodes with a register neighbour placed in a different cluster."""
+    ddg = partition.ddg
+    boundary = []
+    for uid in ddg.node_ids():
+        home = partition.cluster_of(uid)
+        neighbours = [
+            e.dst for e in ddg.out_edges(uid) if e.kind is EdgeKind.REGISTER
+        ] + [e.src for e in ddg.in_edges(uid) if e.kind is EdgeKind.REGISTER]
+        if any(partition.cluster_of(n) != home for n in neighbours):
+            boundary.append(uid)
+    return boundary
+
+
+def _neighbour_clusters(partition: Partition, uid: int) -> set[int]:
+    """Clusters holding register neighbours of ``uid`` (move targets)."""
+    ddg = partition.ddg
+    home = partition.cluster_of(uid)
+    clusters = set()
+    for edge in ddg.out_edges(uid):
+        if edge.kind is EdgeKind.REGISTER:
+            clusters.add(partition.cluster_of(edge.dst))
+    for edge in ddg.in_edges(uid):
+        if edge.kind is EdgeKind.REGISTER:
+            clusters.add(partition.cluster_of(edge.src))
+    clusters.discard(home)
+    return clusters
+
+
+def refine(
+    partition: Partition,
+    machine: MachineConfig,
+    ii: int,
+    move_budget: int = _DEFAULT_MOVE_BUDGET,
+) -> Partition:
+    """Improve ``partition`` by single-node moves at a candidate II.
+
+    Returns a partition whose pseudo-schedule key is <= the input's;
+    the input object is never mutated.
+    """
+    best = partition
+    best_score = pseudo_schedule(best, machine, ii).key
+
+    for _ in range(move_budget):
+        improved = False
+        for uid in _boundary_nodes(best):
+            for cluster in sorted(_neighbour_clusters(best, uid)):
+                candidate = best.with_move(uid, cluster)
+                score = pseudo_schedule(candidate, machine, ii).key
+                if score < best_score:
+                    best, best_score = candidate, score
+                    improved = True
+                    break
+            if improved:
+                break
+        if not improved:
+            break
+    return best

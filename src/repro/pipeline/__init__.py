@@ -1,0 +1,46 @@
+"""End-to-end compilation pipeline and evaluation metrics.
+
+:func:`~repro.pipeline.driver.compile_loop` runs Figure 2's loop —
+partition, (optionally) replicate, schedule, and raise the II on
+failure — and returns a :class:`~repro.pipeline.driver.CompileResult`
+carrying the kernel plus the cause of every II increase (Figure 1's
+statistics). :mod:`repro.pipeline.metrics` turns kernels plus loop
+profiles into the paper's IPC / added-instruction / communication
+numbers, and :mod:`repro.pipeline.report` renders them as text tables.
+"""
+
+from repro.pipeline.driver import (
+    CompileError,
+    CompileResult,
+    Scheme,
+    compile_loop,
+)
+from repro.pipeline.metrics import (
+    AddedInstructionStats,
+    BenchmarkMetrics,
+    CommStats,
+    LoopMetrics,
+    added_instruction_stats,
+    benchmark_metrics,
+    comm_stats,
+    harmonic_mean,
+    loop_metrics,
+)
+from repro.pipeline.report import format_table
+
+__all__ = [
+    "CompileError",
+    "CompileResult",
+    "Scheme",
+    "compile_loop",
+    "AddedInstructionStats",
+    "BenchmarkMetrics",
+    "CommStats",
+    "LoopMetrics",
+    "added_instruction_stats",
+    "benchmark_metrics",
+    "comm_stats",
+    "harmonic_mean",
+    "loop_metrics",
+    "format_table",
+]

@@ -1,0 +1,190 @@
+"""Figure 2's compilation loop: partition, replicate, schedule, retry.
+
+The driver starts at II = MII and repeats:
+
+1. partition the DDG (multilevel; refined whenever the II grows);
+2. check bus feasibility — the baseline scheduler requires
+   ``II_part <= II``, while the replication scheme instead runs the
+   section 3 algorithm and requires it to eliminate all excess
+   communications;
+3. modulo-schedule the placed graph; on any typed failure, record the
+   cause, raise the II and go back to 1.
+
+The recorded causes reproduce Figure 1's breakdown of why the II grows
+beyond the MII.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.core.cloning import clone_values
+from repro.core.length import replicate_for_length
+from repro.core.macro import macro_replicate
+from repro.core.plan import EMPTY_PLAN, ReplicationPlan
+from repro.core.replicator import replicate
+from repro.ddg.analysis import mii
+from repro.ddg.graph import Ddg
+from repro.machine.config import MachineConfig
+from repro.partition.multilevel import MultilevelPartitioner
+from repro.partition.partition import Partition
+from repro.schedule.kernel import Kernel
+from repro.schedule.placed import build_placed_graph
+from repro.schedule.scheduler import FailureCause, ScheduleFailure, schedule
+
+
+class CompileError(RuntimeError):
+    """The loop could not be scheduled within the II safety bound."""
+
+
+class Scheme(enum.Enum):
+    """Which compiler variant to run.
+
+    BASELINE and REPLICATION are the paper's two bars; MACRO_REPLICATION
+    is the section 5.2 alternative; VALUE_CLONING is the Kuras et al.
+    related-work baseline (clone only root values and induction
+    variables).
+    """
+
+    BASELINE = "baseline"
+    REPLICATION = "replication"
+    MACRO_REPLICATION = "macro_replication"
+    VALUE_CLONING = "value_cloning"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Scheme.{self.name}"
+
+
+@dataclasses.dataclass
+class CompileResult:
+    """Everything the evaluation needs about one compiled loop.
+
+    Attributes:
+        kernel: the final modulo schedule.
+        partition: the final cluster assignment.
+        plan: the replication decisions (empty for the baseline).
+        mii: the loop's minimum initiation interval.
+        ii: the achieved initiation interval.
+        causes: one :class:`FailureCause` per II increase along the way.
+        scheme: which compiler variant produced this result.
+    """
+
+    kernel: Kernel
+    partition: Partition
+    plan: ReplicationPlan
+    mii: int
+    ii: int
+    causes: list[FailureCause]
+    scheme: Scheme
+
+    @property
+    def ii_increase(self) -> int:
+        """How far the final II sits above the MII."""
+        return self.ii - self.mii
+
+
+def _plan_for(
+    scheme: Scheme,
+    partition: Partition,
+    machine: MachineConfig,
+    ii: int,
+    partitioner: MultilevelPartitioner,
+    spare_comms: int,
+) -> ReplicationPlan | None:
+    """Replication decisions at this II, or None when bus-infeasible."""
+    if scheme is Scheme.BASELINE:
+        if machine.is_clustered and partition.ii_part(machine) > ii:
+            return None
+        return EMPTY_PLAN
+    if scheme is Scheme.REPLICATION:
+        plan = replicate(partition, machine, ii, spare_comms=spare_comms)
+    elif scheme is Scheme.VALUE_CLONING:
+        plan = clone_values(partition, machine, ii)
+    else:
+        plan = macro_replicate(partition, machine, ii, partitioner.levels)
+    return plan if plan.feasible else None
+
+
+def compile_loop(
+    ddg: Ddg,
+    machine: MachineConfig,
+    scheme: Scheme = Scheme.REPLICATION,
+    length_replication: bool = False,
+    copy_latency_override: int | None = None,
+    max_ii: int | None = None,
+    spare_comms: int = 0,
+) -> CompileResult:
+    """Compile one loop for one machine; see the module docstring.
+
+    Args:
+        ddg: the loop body.
+        machine: the target machine.
+        scheme: baseline / replication / macro replication / cloning.
+        length_replication: additionally run the section 5.1 pass.
+        copy_latency_override: section 5.1's zero-latency upper bound.
+        max_ii: II safety bound (defaults to a generous multiple of the
+            MII plus the loop size).
+        spare_comms: REPLICATION only — keep removing communications
+            this far beyond the paper's stop rule (over-replication
+            ablation; 0 reproduces the paper).
+
+    Raises:
+        CompileError: when no II within the bound yields a schedule.
+    """
+    if len(ddg) == 0:
+        raise CompileError(f"loop {ddg.name!r} is empty")
+    loop_mii = mii(ddg, machine)
+    bound = max_ii if max_ii is not None else 16 * loop_mii + 4 * len(ddg) + 64
+    partitioner = MultilevelPartitioner(ddg=ddg, machine=machine)
+    causes: list[FailureCause] = []
+
+    ii = loop_mii
+    while ii <= bound:
+        partition = partitioner.partition(ii)
+        resource_ii = partition.min_resource_ii(machine)
+        if resource_ii > ii:
+            # When communications also overload the machine at this II,
+            # the bus is the binding constraint (Figure 1's taxonomy).
+            bus_bound = (
+                machine.is_clustered and partition.ii_part(machine) >= resource_ii
+            )
+            causes.append(
+                FailureCause.BUS if bus_bound else FailureCause.RESOURCES
+            )
+            ii += 1
+            continue
+        plan = _plan_for(scheme, partition, machine, ii, partitioner, spare_comms)
+        if plan is None:
+            causes.append(FailureCause.BUS)
+            ii += 1
+            continue
+        if length_replication:
+            plan = replicate_for_length(partition, machine, ii, plan)
+        graph = build_placed_graph(ddg, partition, machine, plan)
+        try:
+            kernel = schedule(
+                graph, machine, ii, copy_latency_override=copy_latency_override
+            )
+        except ScheduleFailure as failure:
+            next_ii = ii + 1
+            if failure.suggested_ii is not None and failure.suggested_ii > ii:
+                # Jump toward the estimated feasible II (capped — the
+                # estimate is a heuristic). One failure event = one
+                # recorded cause, however far the jump goes.
+                next_ii = max(ii + 1, min(failure.suggested_ii, 4 * ii))
+            causes.append(failure.cause)
+            ii = next_ii
+            continue
+        return CompileResult(
+            kernel=kernel,
+            partition=partition,
+            plan=plan,
+            mii=loop_mii,
+            ii=ii,
+            causes=causes,
+            scheme=scheme,
+        )
+    raise CompileError(
+        f"loop {ddg.name!r} unschedulable on {machine.name} within II <= {bound}"
+    )

@@ -1,0 +1,164 @@
+"""Shared machinery for regenerating the paper's tables and figures.
+
+The benchmark harness (``benchmarks/``) regenerates every figure; most
+figures share compilations (Figure 7's kernels are Figure 10's), so
+results are memoized per (benchmark, loop, machine, scheme, flags).
+
+Sizing: by default the *full* 678-loop suite is evaluated, like the
+paper. Set ``REPRO_BENCH_LOOPS=<n>`` to subsample the first ``n`` loops
+of each benchmark during development (the prefix is deterministic), or
+``REPRO_BENCH_LOOPS=all`` for the full run explicitly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+
+from repro.machine.config import MachineConfig, parse_config, unified_machine
+from repro.pipeline.driver import CompileError, Scheme, compile_loop
+from repro.pipeline.metrics import (
+    BenchmarkMetrics,
+    LoopMetrics,
+    benchmark_metrics,
+    harmonic_mean,
+    loop_metrics,
+)
+from repro.schedule.scheduler import FailureCause
+from repro.workloads.specfp import BENCHMARK_ORDER, benchmark_loops
+
+#: Environment variable controlling per-benchmark loop counts.
+LIMIT_ENV = "REPRO_BENCH_LOOPS"
+
+
+def configured_limit() -> int | None:
+    """Per-benchmark loop limit from the environment (None = full)."""
+    raw = os.environ.get(LIMIT_ENV, "").strip().lower()
+    if not raw or raw == "all":
+        return None
+    return max(1, int(raw))
+
+
+def machine_for(name: str) -> MachineConfig:
+    """Parse a config name, accepting ``"unified"``."""
+    if name == "unified":
+        return unified_machine()
+    return parse_config(name)
+
+
+@dataclasses.dataclass(frozen=True)
+class _Key:
+    benchmark: str
+    machine: str
+    scheme: Scheme
+    limit: int | None
+    length_replication: bool
+    copy_latency_override: int | None
+
+
+_CACHE: dict[_Key, list[LoopMetrics]] = {}
+
+
+def compile_suite(
+    benchmark: str,
+    machine: MachineConfig,
+    scheme: Scheme,
+    limit: int | None = None,
+    length_replication: bool = False,
+    copy_latency_override: int | None = None,
+) -> list[LoopMetrics]:
+    """Compile one benchmark's loops; memoized across experiments.
+
+    Loops that fail to compile within the II bound (possible in extreme
+    ablations, e.g. tiny register files) are skipped consistently: a
+    marker is cached so every scheme sees the same loop set.
+    """
+    if limit is None:
+        limit = configured_limit()
+    key = _Key(
+        benchmark=benchmark,
+        machine=machine.name,
+        scheme=scheme,
+        limit=limit,
+        length_replication=length_replication,
+        copy_latency_override=copy_latency_override,
+    )
+    if key in _CACHE:
+        return _CACHE[key]
+
+    metrics = []
+    for loop in benchmark_loops(benchmark, limit=limit):
+        try:
+            result = compile_loop(
+                loop.ddg,
+                machine,
+                scheme=scheme,
+                length_replication=length_replication,
+                copy_latency_override=copy_latency_override,
+            )
+        except CompileError:
+            continue
+        metrics.append(loop_metrics(loop, result))
+    _CACHE[key] = metrics
+    return metrics
+
+
+def suite_metrics(
+    benchmark: str,
+    machine: MachineConfig,
+    scheme: Scheme,
+    **kwargs,
+) -> BenchmarkMetrics:
+    """Benchmark-level aggregate of :func:`compile_suite`."""
+    return benchmark_metrics(
+        benchmark, compile_suite(benchmark, machine, scheme, **kwargs)
+    )
+
+
+def ipc_by_benchmark(
+    machine: MachineConfig, scheme: Scheme, **kwargs
+) -> dict[str, float]:
+    """IPC of every benchmark plus the paper's ``hmean`` entry."""
+    table = {
+        bench: suite_metrics(bench, machine, scheme, **kwargs).ipc
+        for bench in BENCHMARK_ORDER
+    }
+    table["hmean"] = harmonic_mean(list(table.values()))
+    return table
+
+
+def cause_histogram(
+    machine: MachineConfig,
+    scheme: Scheme = Scheme.BASELINE,
+    **kwargs,
+) -> dict[FailureCause, int]:
+    """Figure 1: counts of II increases by cause across the suite."""
+    histogram = {cause: 0 for cause in FailureCause}
+    for bench in BENCHMARK_ORDER:
+        for metric in compile_suite(bench, machine, scheme, **kwargs):
+            for cause in metric.result.causes:
+                histogram[cause] += 1
+    return histogram
+
+
+def mean_ii_reduction(
+    benchmark: str, machine: MachineConfig, **kwargs
+) -> float:
+    """Figure 9: average relative II reduction from replication."""
+    base = compile_suite(benchmark, machine, Scheme.BASELINE, **kwargs)
+    repl = compile_suite(benchmark, machine, Scheme.REPLICATION, **kwargs)
+    by_name_base = {m.loop.name: m.result.ii for m in base}
+    reductions = []
+    for metric in repl:
+        base_ii = by_name_base.get(metric.loop.name)
+        if base_ii is None:
+            continue
+        reductions.append((base_ii - metric.result.ii) / base_ii)
+    if not reductions:
+        return 0.0
+    return sum(reductions) / len(reductions)
+
+
+def clear_cache() -> None:
+    """Drop all memoized compilations (tests use this)."""
+    _CACHE.clear()

@@ -1,0 +1,184 @@
+"""Evaluation metrics: IPC, added instructions, communication stats.
+
+IPC counts *original program* operations per cycle — replicas and bus
+copies are compiler overhead, not program work — so IPC ratios between
+schemes equal speedups for a fixed program (see DESIGN.md). Loops are
+weighted by their profile (visits x iterations), and per-benchmark IPCs
+combine into the paper's HMEAN bar with a work-weighted harmonic mean.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.machine.resources import FuKind
+from repro.pipeline.driver import CompileResult
+from repro.schedule.placed import Role
+from repro.workloads.loop import Loop
+
+
+@dataclasses.dataclass(frozen=True)
+class LoopMetrics:
+    """Performance of one compiled loop under its profile.
+
+    Attributes:
+        loop: the loop and its profile.
+        result: the compilation outcome.
+        cycles: total cycles over the whole program run.
+        useful_ops: original program operations executed.
+    """
+
+    loop: Loop
+    result: CompileResult
+    cycles: int
+    useful_ops: int
+
+    @property
+    def ipc(self) -> float:
+        """Useful IPC of this loop."""
+        return self.useful_ops / self.cycles if self.cycles else 0.0
+
+
+def loop_metrics(loop: Loop, result: CompileResult) -> LoopMetrics:
+    """Apply the profile to a compiled kernel."""
+    kernel = result.kernel
+    cycles = loop.visits * kernel.execution_cycles(loop.iterations)
+    useful = loop.visits * loop.iterations * len(loop.ddg)
+    return LoopMetrics(loop=loop, result=result, cycles=cycles, useful_ops=useful)
+
+
+@dataclasses.dataclass(frozen=True)
+class BenchmarkMetrics:
+    """Aggregated performance of one benchmark's loop set."""
+
+    benchmark: str
+    loops: tuple[LoopMetrics, ...]
+
+    @property
+    def cycles(self) -> int:
+        """Total cycles across all loops."""
+        return sum(m.cycles for m in self.loops)
+
+    @property
+    def useful_ops(self) -> int:
+        """Total program operations across all loops."""
+        return sum(m.useful_ops for m in self.loops)
+
+    @property
+    def ipc(self) -> float:
+        """Benchmark IPC: total work over total time."""
+        return self.useful_ops / self.cycles if self.cycles else 0.0
+
+
+def benchmark_metrics(
+    benchmark: str, metrics: list[LoopMetrics]
+) -> BenchmarkMetrics:
+    """Bundle per-loop metrics into a benchmark aggregate."""
+    return BenchmarkMetrics(benchmark=benchmark, loops=tuple(metrics))
+
+
+def harmonic_mean(values: list[float]) -> float:
+    """Plain harmonic mean (the paper's HMEAN bar)."""
+    filtered = [v for v in values if v > 0]
+    if not filtered:
+        return 0.0
+    return len(filtered) / sum(1.0 / v for v in filtered)
+
+
+def speedup(baseline: BenchmarkMetrics, improved: BenchmarkMetrics) -> float:
+    """Speedup of ``improved`` over ``baseline`` (same workload)."""
+    if improved.cycles == 0:
+        return 0.0
+    return baseline.cycles / improved.cycles
+
+
+# ----------------------------------------------------------------------
+# Figure 10: added instructions by kind
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class AddedInstructionStats:
+    """Executed-instruction inflation caused by replication.
+
+    ``added`` counts dynamically executed replica operations minus
+    removed originals, per FU kind; ``baseline`` counts the original
+    program's dynamic operations per kind. Bus copies are excluded —
+    Figure 10 is about functional-unit work.
+    """
+
+    added: dict[FuKind, int]
+    baseline: dict[FuKind, int]
+
+    def percent(self, kind: FuKind) -> float:
+        """Added instructions of ``kind`` as % of the original count."""
+        base = self.baseline.get(kind, 0)
+        if base == 0:
+            return 0.0
+        return 100.0 * self.added.get(kind, 0) / base
+
+    @property
+    def total_percent(self) -> float:
+        """Overall added-instruction percentage."""
+        base = sum(self.baseline.values())
+        if base == 0:
+            return 0.0
+        return 100.0 * sum(self.added.values()) / base
+
+
+def added_instruction_stats(metrics: list[LoopMetrics]) -> AddedInstructionStats:
+    """Aggregate Figure 10's statistic over compiled loops."""
+    added = {kind: 0 for kind in FuKind}
+    baseline = {kind: 0 for kind in FuKind}
+    for metric in metrics:
+        weight = metric.loop.visits * metric.loop.iterations
+        for node in metric.loop.ddg.nodes():
+            baseline[node.fu_kind] += weight
+        for inst in metric.result.kernel.graph.instances():
+            if inst.is_copy:
+                continue
+            if inst.role is Role.REPLICA:
+                added[inst.fu_kind] += weight
+        for uid in metric.result.plan.removed:
+            added[metric.loop.ddg.node(uid).fu_kind] -= weight
+    return AddedInstructionStats(added=added, baseline=baseline)
+
+
+# ----------------------------------------------------------------------
+# Section 4 text: communications removed, replicas per removed comm
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class CommStats:
+    """Communication-removal statistics (section 4's prose numbers)."""
+
+    initial_coms: int
+    removed_coms: int
+    replicated_instructions: int
+
+    @property
+    def removed_fraction(self) -> float:
+        """Share of communications eliminated by replication."""
+        if self.initial_coms == 0:
+            return 0.0
+        return self.removed_coms / self.initial_coms
+
+    @property
+    def replicas_per_removed_comm(self) -> float:
+        """Average instructions replicated per removed communication."""
+        if self.removed_coms == 0:
+            return 0.0
+        return self.replicated_instructions / self.removed_coms
+
+
+def comm_stats(results: list[CompileResult]) -> CommStats:
+    """Aggregate communication statistics over compiled loops."""
+    initial = sum(r.plan.initial_coms for r in results)
+    removed = sum(r.plan.n_removed_comms for r in results)
+    replicated = sum(r.plan.n_replicated_instructions for r in results)
+    return CommStats(
+        initial_coms=initial,
+        removed_coms=removed,
+        replicated_instructions=replicated,
+    )

@@ -1,0 +1,48 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The benchmarks print the same rows/series the paper's tables and
+figures report; this module keeps the formatting in one place.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned text table.
+
+    Numbers are right-aligned, text left-aligned; floats print with two
+    decimals.
+    """
+
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.2f}"
+        return str(cell)
+
+    rendered = [[render(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def align(cell: str, i: int, row: Sequence[object] | None) -> str:
+        original = row[i] if row is not None else None
+        if isinstance(original, (int, float)) and not isinstance(original, bool):
+            return cell.rjust(widths[i])
+        return cell.ljust(widths[i])
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for raw, row in zip(rows, rendered):
+        lines.append("  ".join(align(cell, i, raw) for i, cell in enumerate(row)))
+    return "\n".join(lines)

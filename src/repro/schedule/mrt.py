@@ -1,0 +1,125 @@
+"""Modulo reservation tables for functional units and buses.
+
+A modulo schedule at initiation interval II may place at most
+``units * II`` operations of a FU kind in each cluster, at most
+``units`` of them in each modulo slot. Buses are machine-wide: a
+communication occupies one bus for ``bus_latency`` *consecutive* modulo
+slots starting at its issue slot — this is what makes the paper's
+``bus_coms = II / bus_lat * nof_buses`` the bus capacity per II window.
+"""
+
+from __future__ import annotations
+
+from repro.machine.config import MachineConfig
+from repro.machine.resources import FuKind
+
+
+class MrtError(ValueError):
+    """Raised on invalid reservation operations."""
+
+
+class ModuloReservationTable:
+    """Tracks FU and bus occupancy for one candidate II."""
+
+    def __init__(self, machine: MachineConfig, ii: int) -> None:
+        if ii <= 0:
+            raise MrtError(f"II must be positive, got {ii}")
+        self.machine = machine
+        self.ii = ii
+        # fu[cluster][kind][slot] = number of ops issued at that modulo slot.
+        self._fu: list[dict[FuKind, list[int]]] = [
+            {kind: [0] * ii for kind in FuKind} for _ in machine.cluster_ids()
+        ]
+        # bus[b][slot] = busy flag for bus b at that modulo slot.
+        self._bus: list[list[bool]] = [
+            [False] * ii for _ in range(machine.bus.count)
+        ]
+
+    # ------------------------------------------------------------------
+    # Functional units
+    # ------------------------------------------------------------------
+
+    def fu_free(self, cluster: int, kind: FuKind, cycle: int) -> bool:
+        """True when a ``kind`` unit in ``cluster`` is free at ``cycle``."""
+        slot = cycle % self.ii
+        return self._fu[cluster][kind][slot] < self.machine.fu_count(cluster, kind)
+
+    def reserve_fu(self, cluster: int, kind: FuKind, cycle: int) -> None:
+        """Claim a unit; raises :class:`MrtError` when none is free."""
+        if not self.fu_free(cluster, kind, cycle):
+            raise MrtError(
+                f"no free {kind.value} unit in cluster {cluster} at "
+                f"slot {cycle % self.ii}"
+            )
+        self._fu[cluster][kind][cycle % self.ii] += 1
+
+    def release_fu(self, cluster: int, kind: FuKind, cycle: int) -> None:
+        """Return a unit claimed by :meth:`reserve_fu` (for backtracking)."""
+        slot = cycle % self.ii
+        if self._fu[cluster][kind][slot] <= 0:
+            raise MrtError(
+                f"release of unreserved {kind.value} slot {slot} "
+                f"in cluster {cluster}"
+            )
+        self._fu[cluster][kind][slot] -= 1
+
+    def fu_usage(self, cluster: int, kind: FuKind) -> int:
+        """Operations of ``kind`` reserved in ``cluster`` this window."""
+        return sum(self._fu[cluster][kind])
+
+    # ------------------------------------------------------------------
+    # Buses
+    # ------------------------------------------------------------------
+
+    def _bus_slots(self, cycle: int) -> list[int]:
+        """Modulo slots a transfer starting at ``cycle`` occupies."""
+        if self.machine.bus.latency >= self.ii:
+            # A transfer longer than the window occupies every slot.
+            return list(range(self.ii))
+        start = cycle % self.ii
+        return [(start + offset) % self.ii for offset in range(self.machine.bus.latency)]
+
+    def bus_free(self, cycle: int) -> bool:
+        """True when some bus can start a transfer at ``cycle``."""
+        return self._find_bus(cycle) is not None
+
+    def _find_bus(self, cycle: int) -> int | None:
+        slots = self._bus_slots(cycle)
+        if self.machine.bus.latency >= self.ii and self.machine.bus.latency > 0:
+            # Occupying all slots also means at most one transfer per
+            # bus per window, and only when the latency exactly fits.
+            if self.machine.bus.latency > self.ii:
+                return None
+        for bus_index, occupancy in enumerate(self._bus):
+            if not any(occupancy[slot] for slot in slots):
+                return bus_index
+        return None
+
+    def reserve_bus(self, cycle: int) -> int:
+        """Claim a bus for a transfer starting at ``cycle``.
+
+        Returns the bus index; raises :class:`MrtError` when every bus
+        is busy in some needed slot.
+        """
+        bus_index = self._find_bus(cycle)
+        if bus_index is None:
+            raise MrtError(f"no free bus at slot {cycle % self.ii}")
+        for slot in self._bus_slots(cycle):
+            self._bus[bus_index][slot] = True
+        return bus_index
+
+    def release_bus(self, bus_index: int, cycle: int) -> None:
+        """Return a bus claimed by :meth:`reserve_bus` (for backtracking)."""
+        for slot in self._bus_slots(cycle):
+            if not self._bus[bus_index][slot]:
+                raise MrtError(
+                    f"release of unreserved bus {bus_index} slot {slot}"
+                )
+            self._bus[bus_index][slot] = False
+
+    def bus_transfers(self) -> int:
+        """Number of transfers reserved this window."""
+        if self.machine.bus.latency == 0:
+            return 0
+        busy = sum(sum(1 for s in occupancy if s) for occupancy in self._bus)
+        return busy // min(self.machine.bus.latency, max(self.ii, 1))

@@ -1,0 +1,99 @@
+"""Modulo variable expansion and the code-size model.
+
+A modulo-scheduled value whose lifetime exceeds the II would be
+overwritten by the next iteration's instance of its producer before its
+last consumer reads it. Machines with *rotating register files* rename
+registers per iteration in hardware; machines without them need the
+kernel unrolled until every lifetime fits (modulo variable expansion,
+Lam 1988): the unroll factor is ``max over values ceil(lifetime / II)``.
+
+Code size matters for the paper's target market — DSPs — and is the
+stated weakness of the loop-unrolling alternative discussed in related
+work (section 6). The model here counts VLIW instruction words:
+
+* kernel: ``II`` words, times the MVE unroll factor without rotating
+  registers;
+* prolog and epilog: ``(SC - 1) * II`` words each (the pipeline fill
+  and drain).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.ddg.graph import EdgeKind
+from repro.schedule.kernel import Kernel
+
+
+def value_lifetimes(kernel: Kernel) -> dict[int, int]:
+    """Lifetime in cycles of every value-producing instance.
+
+    A value lives from its definition (issue + latency) to its last
+    read, where a read at iteration distance ``d`` happens ``d * II``
+    cycles later. Instances without register consumers get lifetime 0.
+    """
+    graph = kernel.graph
+    ii = kernel.ii
+    lifetimes: dict[int, int] = {}
+    for producer in graph.instances():
+        if producer.op_class.value == "store":
+            continue
+        t_def = kernel.start_of(producer.iid) + kernel.effective_latency(
+            kernel.ops[producer.iid]
+        )
+        last = t_def
+        for edge in graph.out_edges(producer.iid):
+            if edge.kind is not EdgeKind.REGISTER:
+                continue
+            read = kernel.start_of(edge.dst) + edge.distance * ii
+            last = max(last, read)
+        lifetimes[producer.iid] = last - t_def
+    return lifetimes
+
+
+def mve_unroll_factor(kernel: Kernel) -> int:
+    """Kernel copies needed without rotating register files."""
+    lifetimes = value_lifetimes(kernel)
+    if not lifetimes:
+        return 1
+    return max(
+        1,
+        max(math.ceil(span / kernel.ii) for span in lifetimes.values())
+        if lifetimes
+        else 1,
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class CodeSize:
+    """VLIW instruction words of a software-pipelined loop.
+
+    Attributes:
+        kernel_words: steady-state body size (MVE applied if needed).
+        prolog_words: pipeline-fill code.
+        epilog_words: pipeline-drain code.
+        mve_factor: kernel copies demanded by lifetimes (1 = none).
+    """
+
+    kernel_words: int
+    prolog_words: int
+    epilog_words: int
+    mve_factor: int
+
+    @property
+    def total_words(self) -> int:
+        """Whole-loop footprint."""
+        return self.kernel_words + self.prolog_words + self.epilog_words
+
+
+def code_size(kernel: Kernel, rotating_registers: bool = True) -> CodeSize:
+    """Code-size estimate; see the module docstring for the model."""
+    factor = 1 if rotating_registers else mve_unroll_factor(kernel)
+    fill = max(0, (kernel.stage_count - 1) * kernel.ii)
+    return CodeSize(
+        kernel_words=kernel.ii * factor,
+        prolog_words=fill,
+        epilog_words=fill,
+        mve_factor=factor,
+    )

@@ -1,0 +1,185 @@
+"""Physical register allocation for modulo-scheduled kernels.
+
+MaxLive (:mod:`repro.schedule.registers`) *estimates* pressure; this
+module actually assigns registers, which is what a backend must do and
+what validates the estimate. The model:
+
+* every value-producing instance needs a register from its definition
+  (issue + latency) to its last same-cluster read (loop-carried reads
+  add ``distance * II``);
+* in the steady state the pattern repeats every II cycles, with
+  ``U = mve_unroll_factor`` iteration classes alive simultaneously, so
+  lifetimes become *circular arcs* on a ring of ``U * II`` cycles —
+  one arc per (value, iteration-class);
+* arcs sharing a register must not overlap.
+
+Circular-arc coloring is NP-hard in general; we use the standard
+first-fit heuristic (sort arcs by start, give each the lowest register
+with no overlap) and then *verify* the result exactly — the allocator
+can be suboptimal, never wrong. Allocation failure (more registers than
+the cluster's file) is reported per cluster so the driver could spill
+or raise the II; in this reproduction the scheduler's MaxLive check
+makes failures rare by construction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.ddg.graph import EdgeKind
+from repro.schedule.kernel import Kernel
+from repro.schedule.mve import mve_unroll_factor
+
+
+class AllocationError(ValueError):
+    """A cluster's values do not fit its register file."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Arc:
+    """A circular lifetime arc on the expanded kernel ring.
+
+    ``start``/``end`` are positions on the ring ``[0, ring)``; an arc
+    with ``end <= start`` wraps around. Zero-length lifetimes are kept
+    as 1-cycle arcs (the value exists at its definition point).
+    """
+
+    producer: int
+    iteration_class: int
+    start: int
+    length: int
+
+    def covers(self, ring: int) -> set[int]:
+        """Ring positions this arc occupies."""
+        return {(self.start + offset) % ring for offset in range(self.length)}
+
+
+@dataclasses.dataclass
+class ClusterAllocation:
+    """Register assignment for one cluster.
+
+    Attributes:
+        cluster: cluster index.
+        ring: expanded timeline length (``U * II``).
+        assignment: (producer iid, iteration class) -> register number.
+        registers_used: registers the first-fit allocation needed.
+    """
+
+    cluster: int
+    ring: int
+    assignment: dict[tuple[int, int], int]
+    registers_used: int
+
+
+def _cluster_lifetimes(kernel: Kernel, cluster: int) -> list[tuple[int, int, int]]:
+    """(producer iid, t_def, span) of values living in ``cluster``.
+
+    A COPY delivers the value into consumer clusters; the producing
+    instance holds it in its own cluster. Mirrors
+    :func:`repro.schedule.registers.max_live`'s placement rules.
+    """
+    graph = kernel.graph
+    ii = kernel.ii
+    lifetimes = []
+    for producer in graph.instances():
+        if producer.op_class.value == "store":
+            continue
+        t_def = kernel.start_of(producer.iid) + kernel.effective_latency(
+            kernel.ops[producer.iid]
+        )
+        last_read: dict[int, int] = {}
+        for edge in graph.out_edges(producer.iid):
+            if edge.kind is not EdgeKind.REGISTER:
+                continue
+            consumer = graph.instance(edge.dst)
+            where = consumer.cluster if not consumer.is_copy else producer.cluster
+            read = kernel.start_of(consumer.iid) + edge.distance * ii
+            last_read[where] = max(last_read.get(where, read), read)
+        for where, t_end in last_read.items():
+            if where == cluster:
+                lifetimes.append((producer.iid, t_def, max(1, t_end - t_def)))
+    return lifetimes
+
+
+def _first_fit(arcs: list[Arc], ring: int) -> dict[tuple[int, int], int]:
+    """Greedy circular-arc coloring; exact overlap sets (ring is small)."""
+    occupancy: list[set[int]] = []
+    assignment: dict[tuple[int, int], int] = {}
+    for arc in sorted(arcs, key=lambda a: (a.start, -a.length, a.producer)):
+        covered = arc.covers(ring)
+        for register, taken in enumerate(occupancy):
+            if not (taken & covered):
+                taken |= covered
+                assignment[(arc.producer, arc.iteration_class)] = register
+                break
+        else:
+            occupancy.append(set(covered))
+            assignment[(arc.producer, arc.iteration_class)] = len(occupancy) - 1
+    return assignment
+
+
+def allocate_cluster(kernel: Kernel, cluster: int) -> ClusterAllocation:
+    """Assign registers for one cluster; see the module docstring."""
+    ii = kernel.ii
+    unroll = mve_unroll_factor(kernel)
+    ring = unroll * ii
+    arcs = []
+    for producer, t_def, span in _cluster_lifetimes(kernel, cluster):
+        span = min(span, ring)  # U guarantees span <= ring; stay safe
+        for iteration_class in range(unroll):
+            arcs.append(
+                Arc(
+                    producer=producer,
+                    iteration_class=iteration_class,
+                    start=(t_def + iteration_class * ii) % ring,
+                    length=span,
+                )
+            )
+    assignment = _first_fit(arcs, ring)
+    used = 1 + max(assignment.values(), default=-1)
+    return ClusterAllocation(
+        cluster=cluster, ring=ring, assignment=assignment, registers_used=used
+    )
+
+
+def allocate(kernel: Kernel, strict: bool = True) -> list[ClusterAllocation]:
+    """Allocate every cluster; raise on overflow when ``strict``."""
+    allocations = []
+    for cluster in kernel.machine.cluster_ids():
+        allocation = allocate_cluster(kernel, cluster)
+        limit = kernel.machine.registers(cluster)
+        if strict and allocation.registers_used > limit:
+            raise AllocationError(
+                f"cluster {cluster} needs {allocation.registers_used} "
+                f"registers but has {limit}"
+            )
+        allocations.append(allocation)
+    return allocations
+
+
+def verify_allocation(kernel: Kernel, allocation: ClusterAllocation) -> None:
+    """Exact no-overlap check; raises :class:`AllocationError` on conflict."""
+    ring = allocation.ring
+    lifetimes = {
+        producer: (t_def, span)
+        for producer, t_def, span in _cluster_lifetimes(
+            kernel, allocation.cluster
+        )
+    }
+    by_register: dict[int, set[int]] = {}
+    for (producer, iteration_class), register in allocation.assignment.items():
+        t_def, span = lifetimes[producer]
+        arc = Arc(
+            producer=producer,
+            iteration_class=iteration_class,
+            start=(t_def + iteration_class * kernel.ii) % ring,
+            length=min(span, ring),
+        )
+        covered = arc.covers(ring)
+        taken = by_register.setdefault(register, set())
+        if taken & covered:
+            raise AllocationError(
+                f"register r{register} in cluster {allocation.cluster} "
+                f"double-booked at ring slots {sorted(taken & covered)}"
+            )
+        taken |= covered

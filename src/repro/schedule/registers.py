@@ -1,0 +1,57 @@
+"""Register pressure estimation (MaxLive per cluster).
+
+Excess register pressure is the third cause of II increases in
+Figure 1. We estimate the per-cluster register requirement of a kernel
+with the standard modulo-scheduling lifetime argument: a value defined
+at cycle ``t_def`` whose last same-cluster read happens at cycle
+``t_end`` overlaps ``ceil((t_end - t_def) / II)`` kernel windows (at
+least one), and each overlapped window costs one register in the
+steady state.
+
+Value placement rules:
+
+* a computing instance defines its value in its own cluster;
+* a COPY instance delivers the value into *every* cluster where a
+  consumer reads it through the bus, costing a register there.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.ddg.graph import EdgeKind
+from repro.schedule.kernel import Kernel
+
+
+def max_live(kernel: Kernel) -> list[int]:
+    """Estimated registers needed per cluster for ``kernel``."""
+    graph = kernel.graph
+    machine = kernel.machine
+    ii = kernel.ii
+    pressure = [0] * machine.n_clusters
+
+    for producer in graph.instances():
+        if producer.op_class.value == "store":
+            continue
+        t_def = kernel.start_of(producer.iid) + machine.latency_of(producer.op_class)
+        # Group read times per destination cluster.
+        last_read: dict[int, int] = {}
+        for edge in graph.out_edges(producer.iid):
+            if edge.kind is not EdgeKind.REGISTER:
+                continue
+            consumer = graph.instance(edge.dst)
+            read_time = kernel.start_of(consumer.iid) + edge.distance * ii
+            cluster = consumer.cluster if not consumer.is_copy else producer.cluster
+            last_read[cluster] = max(last_read.get(cluster, read_time), read_time)
+        for cluster, t_end in last_read.items():
+            span = max(0, t_end - t_def)
+            pressure[cluster] += max(1, math.ceil(span / ii) if span else 1)
+    return pressure
+
+
+def fits_registers(kernel: Kernel) -> bool:
+    """True when every cluster's MaxLive fits its register file."""
+    return all(
+        need <= kernel.machine.registers(cluster)
+        for cluster, need in enumerate(max_live(kernel))
+    )

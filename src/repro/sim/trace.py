@@ -1,0 +1,72 @@
+"""Issue traces: the simulator's view of execution, cycle by cycle.
+
+A trace is the list of issue events the lockstep machine performs. It
+exists for debugging and — more importantly — for *differential
+validation*: :func:`repro.codegen.program.flat_program` computes the
+same expansion by an independent code path, and the test suite checks
+the two agree event for event. A bug in either the simulator's timing
+or the code generator's expansion shows up as a trace divergence.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.schedule.kernel import Kernel
+
+
+@dataclasses.dataclass(frozen=True)
+class IssueEvent:
+    """One operation issue.
+
+    Attributes:
+        cycle: absolute cycle of the issue.
+        name: instance label.
+        cluster: issuing cluster.
+        iteration: loop iteration the instance belongs to.
+        op_class: operation class string.
+        completes: cycle the result becomes available.
+    """
+
+    cycle: int
+    name: str
+    cluster: int
+    iteration: int
+    op_class: str
+    completes: int
+
+
+def issue_trace(kernel: Kernel, iterations: int) -> list[IssueEvent]:
+    """All issue events of ``iterations`` iterations, in cycle order."""
+    if iterations < 0:
+        raise ValueError(f"iterations must be >= 0, got {iterations}")
+    events = []
+    for op in kernel.ops.values():
+        latency = kernel.effective_latency(op)
+        for iteration in range(iterations):
+            cycle = op.start + iteration * kernel.ii
+            events.append(
+                IssueEvent(
+                    cycle=cycle,
+                    name=op.instance.name,
+                    cluster=op.instance.cluster,
+                    iteration=iteration,
+                    op_class=op.instance.op_class.value,
+                    completes=cycle + latency,
+                )
+            )
+    events.sort(key=lambda e: (e.cycle, e.cluster, e.name, e.iteration))
+    return events
+
+
+def format_trace(events: list[IssueEvent], limit: int | None = 40) -> str:
+    """Readable rendering of (a prefix of) a trace."""
+    shown = events if limit is None else events[:limit]
+    lines = [
+        f"t={e.cycle:4d} c{e.cluster} {e.op_class:>9} {e.name}@{e.iteration} "
+        f"-> ready t={e.completes}"
+        for e in shown
+    ]
+    if limit is not None and len(events) > limit:
+        lines.append(f"... {len(events) - limit} more events")
+    return "\n".join(lines)

@@ -1,0 +1,112 @@
+"""Static checks that a kernel is a legal modulo schedule.
+
+The verifier re-derives every structural constraint independently of
+the scheduler (no shared reservation code), so a scheduler bug cannot
+hide behind its own bookkeeping:
+
+* dependences: ``t(dst) >= t(src) + latency(src) - II * distance`` for
+  every placed edge;
+* functional units: at most ``units`` operations of a kind issue in any
+  modulo slot of any cluster;
+* buses: a transfer occupies one bus for ``bus_latency`` consecutive
+  modulo slots; transfers on one bus never overlap; every COPY has a
+  bus assigned and no COPY exists on an unclustered machine;
+* placement: each instance issues on a functional unit of its own
+  cluster.
+"""
+
+from __future__ import annotations
+
+from repro.machine.resources import FuKind
+from repro.schedule.kernel import Kernel
+
+
+class VerificationError(AssertionError):
+    """A kernel violates a structural or dependence constraint."""
+
+
+def _check_dependences(kernel: Kernel) -> None:
+    graph = kernel.graph
+    for inst in graph.instances():
+        for edge in graph.out_edges(inst.iid):
+            src_op = kernel.ops[edge.src]
+            dst_op = kernel.ops[edge.dst]
+            earliest = (
+                dst_op.start + kernel.ii * edge.distance
+            )
+            ready = src_op.start + kernel.effective_latency(src_op)
+            if ready > earliest:
+                raise VerificationError(
+                    f"dependence violated: {src_op.instance.name} -> "
+                    f"{dst_op.instance.name} (ready {ready} > issue {earliest})"
+                )
+
+
+def _check_functional_units(kernel: Kernel) -> None:
+    machine = kernel.machine
+    usage: dict[tuple[int, FuKind, int], int] = {}
+    for op in kernel.ops.values():
+        inst = op.instance
+        if inst.is_copy:
+            continue
+        key = (inst.cluster, inst.fu_kind, op.start % kernel.ii)
+        usage[key] = usage.get(key, 0) + 1
+    for (cluster, kind, slot), count in usage.items():
+        limit = machine.fu_count(cluster, kind)
+        if count > limit:
+            raise VerificationError(
+                f"{count} {kind.value} ops in cluster {cluster} slot {slot} "
+                f"exceed {limit} units"
+            )
+
+
+def _check_buses(kernel: Kernel) -> None:
+    machine = kernel.machine
+    copies = [op for op in kernel.ops.values() if op.instance.is_copy]
+    if not copies:
+        return
+    if machine.bus.count == 0:
+        raise VerificationError("COPY scheduled on a machine without buses")
+    occupancy: dict[tuple[int, int], str] = {}
+    for op in copies:
+        if op.bus is None or not 0 <= op.bus < machine.bus.count:
+            raise VerificationError(f"{op.instance.name} has no valid bus")
+        span = min(machine.bus.latency, kernel.ii)
+        if machine.bus.latency > kernel.ii:
+            raise VerificationError(
+                f"bus latency {machine.bus.latency} exceeds II {kernel.ii}; "
+                f"{op.instance.name} cannot complete"
+            )
+        for offset in range(span):
+            slot = (op.start + offset) % kernel.ii
+            key = (op.bus, slot)
+            if key in occupancy:
+                raise VerificationError(
+                    f"bus {op.bus} slot {slot} claimed by both "
+                    f"{occupancy[key]} and {op.instance.name}"
+                )
+            occupancy[key] = op.instance.name
+
+
+def _check_placement(kernel: Kernel) -> None:
+    graph = kernel.graph
+    scheduled = set(kernel.ops)
+    expected = {inst.iid for inst in graph.instances()}
+    if scheduled != expected:
+        raise VerificationError(
+            f"kernel schedules {len(scheduled)} of {len(expected)} instances"
+        )
+    for op in kernel.ops.values():
+        if not 0 <= op.instance.cluster < kernel.machine.n_clusters:
+            raise VerificationError(
+                f"{op.instance.name} placed in nonexistent cluster "
+                f"{op.instance.cluster}"
+            )
+
+
+def verify_kernel(kernel: Kernel) -> None:
+    """Raise :class:`VerificationError` on any illegal kernel property."""
+    _check_placement(kernel)
+    _check_dependences(kernel)
+    _check_functional_units(kernel)
+    _check_buses(kernel)

@@ -1,0 +1,54 @@
+"""Workloads: loop patterns, DSP kernels and the synthetic SPECfp95 suite."""
+
+from repro.workloads.acyclic import acyclic_block, acyclic_blocks
+from repro.workloads.dsp import (
+    DSP_KERNELS,
+    complex_mac,
+    fir,
+    iir_biquad,
+    matmul_inner,
+)
+from repro.workloads.loop import Loop
+from repro.workloads.generator import LoopSpec, generate_loop, generate_suite
+from repro.workloads.patterns import (
+    daxpy,
+    dot_product,
+    figure3_graph,
+    figure3_partition,
+    stencil5,
+)
+from repro.workloads.specfp import (
+    BENCHMARK_ORDER,
+    BENCHMARK_SPECS,
+    LOOP_COUNTS,
+    all_loops,
+    benchmark_loops,
+    full_suite,
+    total_loops,
+)
+
+__all__ = [
+    "acyclic_block",
+    "acyclic_blocks",
+    "DSP_KERNELS",
+    "complex_mac",
+    "fir",
+    "iir_biquad",
+    "matmul_inner",
+    "Loop",
+    "LoopSpec",
+    "generate_loop",
+    "generate_suite",
+    "daxpy",
+    "dot_product",
+    "figure3_graph",
+    "figure3_partition",
+    "stencil5",
+    "BENCHMARK_ORDER",
+    "BENCHMARK_SPECS",
+    "LOOP_COUNTS",
+    "all_loops",
+    "benchmark_loops",
+    "full_suite",
+    "total_loops",
+]

@@ -1,0 +1,34 @@
+"""Acyclic blocks derived from the loop suite.
+
+Straight-line code for the acyclic scheduling extension is obtained by
+dropping every loop-carried dependence from a generated loop body —
+what remains is exactly the DAG a trace/superblock scheduler would see
+for one iteration.
+"""
+
+from __future__ import annotations
+
+from repro.ddg.graph import Ddg
+from repro.workloads.specfp import benchmark_loops
+
+
+def acyclic_block(ddg: Ddg) -> Ddg:
+    """A copy of ``ddg`` with all loop-carried edges removed."""
+    block = Ddg(name=f"{ddg.name}_block")
+    mapping = {}
+    for node in ddg.nodes():
+        mapping[node.uid] = block.add_node(node.name, node.op_class)
+    for edge in ddg.edges():
+        if edge.distance == 0:
+            block.add_edge(
+                mapping[edge.src], mapping[edge.dst], 0, edge.kind
+            )
+    return block
+
+
+def acyclic_blocks(benchmark: str, limit: int | None = None) -> list[Ddg]:
+    """Acyclic blocks for one benchmark's loops."""
+    return [
+        acyclic_block(loop.ddg)
+        for loop in benchmark_loops(benchmark, limit=limit)
+    ]

@@ -1,0 +1,166 @@
+"""DSP kernels: the workloads the paper's introduction motivates.
+
+Clustering's commercial home is the DSP market (TI TMS320C6x, Analog
+Devices TigerSHARC, HP/ST Lx, Equator MAP1000 — all cited in section
+1), so this module provides the classic DSP inner loops as DDGs:
+
+* :func:`fir` — an N-tap FIR filter (multiply-accumulate tree);
+* :func:`iir_biquad` — a second-order IIR section, with the feedback
+  recurrences through y[i-1] and y[i-2] that bound its II;
+* :func:`complex_mac` — one complex multiply-accumulate (the FFT
+  butterfly / complex-filter workhorse: 4 muls, 2 adds, 2 accumulates);
+* :func:`matmul_inner` — the dot-product inner loop of a matrix
+  multiply with explicit 2-D address arithmetic.
+
+All are parameterized where the real kernels are (tap count), and all
+expose the structural property replication exploits: a handful of
+shared address/coefficient values feeding many multiply streams.
+"""
+
+from __future__ import annotations
+
+from repro.ddg.builder import DdgBuilder
+from repro.ddg.graph import Ddg
+
+
+def fir(taps: int = 8) -> Ddg:
+    """``y[i] = sum_k c[k] * x[i-k]`` with a balanced adder tree."""
+    if taps < 2:
+        raise ValueError(f"an FIR filter needs >= 2 taps, got {taps}")
+    b = DdgBuilder(f"fir{taps}")
+    b.int_op("i")
+    b.dep("i", "i", distance=1)
+    b.int_op("xbase")
+    b.dep("i", "xbase")
+    products = []
+    for k in range(taps):
+        b.int_op(f"adr{k}")
+        b.dep("xbase", f"adr{k}")
+        b.load(f"x{k}")
+        b.dep(f"adr{k}", f"x{k}")
+        b.fp_mul(f"m{k}")
+        b.dep(f"x{k}", f"m{k}")
+        products.append(f"m{k}")
+    # Balanced reduction tree.
+    level = 0
+    while len(products) > 1:
+        next_level = []
+        for j in range(0, len(products) - 1, 2):
+            label = f"s{level}_{j // 2}"
+            b.fp_op(label)
+            b.dep(products[j], label)
+            b.dep(products[j + 1], label)
+            next_level.append(label)
+        if len(products) % 2:
+            next_level.append(products[-1])
+        products = next_level
+        level += 1
+    b.int_op("yaddr")
+    b.dep("i", "yaddr")
+    b.store("st_y")
+    b.dep(products[0], "st_y")
+    b.dep("yaddr", "st_y")
+    return b.build()
+
+
+def iir_biquad() -> Ddg:
+    """A direct-form-I biquad: feedback through y[i-1] and y[i-2]."""
+    b = DdgBuilder("iir_biquad")
+    b.int_op("i")
+    b.dep("i", "i", distance=1)
+    b.int_op("xaddr")
+    b.dep("i", "xaddr")
+    b.load("x0")
+    b.dep("xaddr", "x0")
+    # Feed-forward taps on x[i], x[i-1], x[i-2] (delay line as values).
+    b.fp_mul("b0x")
+    b.dep("x0", "b0x")
+    b.fp_mul("b1x")
+    b.dep("x0", "b1x", distance=1)
+    b.fp_mul("b2x")
+    b.dep("x0", "b2x", distance=2)
+    b.fp_op("ff0")
+    b.dep("b0x", "ff0").dep("b1x", "ff0")
+    b.fp_op("ff")
+    b.dep("ff0", "ff").dep("b2x", "ff")
+    # Feedback taps on y[i-1], y[i-2]: the recurrence.
+    b.fp_mul("a1y")
+    b.fp_mul("a2y")
+    b.fp_op("fb")
+    b.dep("a1y", "fb").dep("a2y", "fb")
+    b.fp_op("y")
+    b.dep("ff", "y").dep("fb", "y")
+    b.dep("y", "a1y", distance=1)
+    b.dep("y", "a2y", distance=2)
+    b.int_op("yaddr")
+    b.dep("i", "yaddr")
+    b.store("st_y")
+    b.dep("y", "st_y").dep("yaddr", "st_y")
+    return b.build()
+
+
+def complex_mac() -> Ddg:
+    """Complex multiply-accumulate: (ar+j·ai)(br+j·bi) summed up."""
+    b = DdgBuilder("complex_mac")
+    b.int_op("i")
+    b.dep("i", "i", distance=1)
+    b.int_op("abase").int_op("bbase")
+    b.dep("i", "abase").dep("i", "bbase")
+    for part in ("ar", "ai"):
+        b.load(part)
+        b.dep("abase", part)
+    for part in ("br", "bi"):
+        b.load(part)
+        b.dep("bbase", part)
+    b.fp_mul("rr").fp_mul("ii").fp_mul("ri").fp_mul("ir")
+    b.dep("ar", "rr").dep("br", "rr")
+    b.dep("ai", "ii").dep("bi", "ii")
+    b.dep("ar", "ri").dep("bi", "ri")
+    b.dep("ai", "ir").dep("br", "ir")
+    b.fp_op("real")  # rr - ii
+    b.dep("rr", "real").dep("ii", "real")
+    b.fp_op("imag")  # ri + ir
+    b.dep("ri", "imag").dep("ir", "imag")
+    b.fp_op("acc_r")
+    b.dep("real", "acc_r")
+    b.dep("acc_r", "acc_r", distance=1)
+    b.fp_op("acc_i")
+    b.dep("imag", "acc_i")
+    b.dep("acc_i", "acc_i", distance=1)
+    return b.build()
+
+
+def matmul_inner(unroll: int = 2) -> Ddg:
+    """``c += a[i][k] * b[k][j]`` inner loop, ``unroll`` k-steps deep."""
+    if unroll < 1:
+        raise ValueError(f"unroll must be >= 1, got {unroll}")
+    b = DdgBuilder(f"matmul{unroll}")
+    b.int_op("k")
+    b.dep("k", "k", distance=1)
+    b.int_op("arow").int_op("bcol")
+    b.dep("k", "arow").dep("k", "bcol")
+    partials = []
+    for u in range(unroll):
+        b.int_op(f"aoff{u}").int_op(f"boff{u}")
+        b.dep("arow", f"aoff{u}").dep("bcol", f"boff{u}")
+        b.load(f"a{u}").load(f"b{u}")
+        b.dep(f"aoff{u}", f"a{u}").dep(f"boff{u}", f"b{u}")
+        b.fp_mul(f"p{u}")
+        b.dep(f"a{u}", f"p{u}").dep(f"b{u}", f"p{u}")
+        partials.append(f"p{u}")
+    b.fp_op("acc")
+    for partial in partials:
+        b.dep(partial, "acc")
+    b.dep("acc", "acc", distance=1)
+    return b.build()
+
+
+#: All DSP kernels by name, for CLIs and sweep scripts.
+DSP_KERNELS = {
+    "fir8": lambda: fir(8),
+    "fir16": lambda: fir(16),
+    "iir_biquad": iir_biquad,
+    "complex_mac": complex_mac,
+    "matmul2": lambda: matmul_inner(2),
+    "matmul4": lambda: matmul_inner(4),
+}

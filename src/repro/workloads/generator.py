@@ -1,0 +1,194 @@
+"""Statistically controlled synthetic loop generation.
+
+The real evaluation used 678 SPECfp95 innermost loops compiled with the
+Ictineo research compiler — unavailable here, so we synthesize loops
+whose *structure* spans the same regimes (see DESIGN.md, substitution
+table). The generative model mirrors how FP loop bodies actually look:
+
+* an integer induction variable (a loop-carried recurrence);
+* a pool of *shared* integer address computations hanging off it — the
+  "upper levels of the DDG" the paper observes are integer-heavy and
+  appear in multiple replication subgraphs;
+* several floating-point computation streams, each loading operands
+  through addresses drawn from the shared pool, combining them in a
+  tree of FP operations, and ending in a store or a loop-carried
+  accumulation;
+* optional cross-links where one stream consumes another's value.
+
+The single most important knob is *sharing*: how many streams consume
+each shared integer value. High sharing means any partition that
+spreads the streams across clusters must communicate the shared values
+— exactly the bus pressure instruction replication removes cheaply,
+since the shared values have small integer subgraphs. Zero sharing
+yields separable loops that partition communication-free (the mgrid
+regime).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+from repro.ddg.builder import DdgBuilder
+from repro.machine.resources import OpClass
+from repro.workloads.loop import Loop
+
+
+@dataclasses.dataclass(frozen=True)
+class LoopSpec:
+    """Knobs of the generative loop model (see the module docstring).
+
+    Attributes:
+        name: base name for generated loops.
+        n_streams: parallel FP computation chains.
+        stream_depth: (min, max) FP operations per stream.
+        shared_values: size of the shared integer address pool.
+        shared_fanout: (min, max) streams consuming each shared value.
+        loads_per_stream: (min, max) loads feeding each stream.
+        cross_link_prob: chance a stream op also consumes a value from
+            another stream (FP value sharing — large subgraphs).
+        recurrence_prob: chance a stream accumulates loop-carried.
+        store_prob: chance a stream ends in a store.
+        fp_mul_ratio: fraction of FP ops that are multiplies.
+        fp_div_prob: chance one stream contains a divide.
+        big_loop_fraction: chance a loop is a "big" variant (doubled
+            stream count, deeper streams) — the unrolled-loop tail real
+            SPECfp suites have, and where register pressure lives.
+        trip_range: (min, max) iterations per visit.
+        visit_range: (min, max) visits during the program run.
+    """
+
+    name: str
+    n_streams: int = 4
+    stream_depth: tuple[int, int] = (2, 4)
+    shared_values: int = 3
+    shared_fanout: tuple[int, int] = (2, 3)
+    loads_per_stream: tuple[int, int] = (1, 2)
+    cross_link_prob: float = 0.1
+    recurrence_prob: float = 0.2
+    store_prob: float = 0.8
+    fp_mul_ratio: float = 0.4
+    fp_div_prob: float = 0.02
+    big_loop_fraction: float = 0.0
+    trip_range: tuple[int, int] = (50, 200)
+    visit_range: tuple[int, int] = (100, 1000)
+
+
+def _draw(rng: random.Random, bounds: tuple[int, int]) -> int:
+    low, high = bounds
+    return rng.randint(low, max(low, high))
+
+
+def generate_loop(
+    spec: LoopSpec, rng: random.Random, index: int = 0, benchmark: str = ""
+) -> Loop:
+    """Sample one loop from the generative model (deterministic in rng)."""
+    b = DdgBuilder(f"{spec.name}_{index}")
+
+    if rng.random() < spec.big_loop_fraction:
+        low, high = spec.stream_depth
+        spec = dataclasses.replace(
+            spec,
+            n_streams=spec.n_streams + 3,
+            stream_depth=(low + 1, high + 1),
+        )
+
+    # Induction variable: the canonical integer recurrence.
+    b.int_op("i")
+    b.dep("i", "i", distance=1)
+
+    # Shared integer pool: short chains off the induction variable.
+    shared: list[str] = []
+    for s in range(spec.shared_values):
+        label = f"adr{s}"
+        b.int_op(label)
+        b.dep("i", label)
+        if rng.random() < 0.4:
+            deep = f"{label}x"
+            b.int_op(deep)
+            b.dep(label, deep)
+            label = deep
+        shared.append(label)
+
+    # Assign each shared value its consuming streams.
+    stream_sources: list[list[str]] = [[] for _ in range(spec.n_streams)]
+    for label in shared:
+        fanout = min(_draw(rng, spec.shared_fanout), spec.n_streams)
+        for stream in rng.sample(range(spec.n_streams), fanout):
+            stream_sources[stream].append(label)
+
+    stream_heads: list[str] = []
+    for s in range(spec.n_streams):
+        inputs: list[str] = []
+        n_loads = _draw(rng, spec.loads_per_stream)
+        for l in range(n_loads):
+            addr = (
+                rng.choice(stream_sources[s]) if stream_sources[s] else "i"
+            )
+            load = f"ld{s}_{l}"
+            b.load(load)
+            b.dep(addr, load)
+            inputs.append(load)
+        # Streams with no loads compute straight off shared integers.
+        if not inputs:
+            inputs = list(stream_sources[s]) or ["i"]
+
+        value = inputs[0]
+        depth = _draw(rng, spec.stream_depth)
+        for d in range(depth):
+            if rng.random() < spec.fp_div_prob:
+                op_class = OpClass.FP_DIV
+            elif rng.random() < spec.fp_mul_ratio:
+                op_class = OpClass.FP_MUL
+            else:
+                op_class = OpClass.FP_ARITH
+            label = f"f{s}_{d}"
+            b.op(label, op_class)
+            b.dep(value, label)
+            # A second operand: another input, or a cross-stream value.
+            if stream_heads and rng.random() < spec.cross_link_prob:
+                b.dep(rng.choice(stream_heads), label)
+            elif len(inputs) > 1 and rng.random() < 0.6:
+                other = rng.choice(inputs)
+                if other != value:
+                    b.dep(other, label)
+            value = label
+        stream_heads.append(value)
+
+        if rng.random() < spec.recurrence_prob:
+            acc = f"acc{s}"
+            b.fp_op(acc)
+            b.dep(value, acc)
+            if rng.random() < 0.3:
+                # A two-op recurrence (e.g. acc = (x + acc) * k): a
+                # tighter cycle whose scheduling windows can genuinely
+                # fail at the MII (Figure 1's "recurrences" slice).
+                scale = f"accm{s}"
+                b.fp_mul(scale)
+                b.dep(acc, scale)
+                b.dep(scale, acc, distance=1)
+            else:
+                b.dep(acc, acc, distance=1)
+            stream_heads[-1] = acc
+        elif rng.random() < spec.store_prob:
+            store = f"st{s}"
+            b.store(store)
+            b.dep(value, store)
+            addr = rng.choice(stream_sources[s]) if stream_sources[s] else "i"
+            b.dep(addr, store)
+
+    return Loop(
+        ddg=b.build(),
+        iterations=_draw(rng, spec.trip_range),
+        visits=_draw(rng, spec.visit_range),
+        benchmark=benchmark or spec.name,
+    )
+
+
+def generate_suite(spec: LoopSpec, count: int, seed: int) -> list[Loop]:
+    """Generate ``count`` loops from one spec, deterministically."""
+    rng = random.Random(seed)
+    return [
+        generate_loop(spec, rng, index=i, benchmark=spec.name)
+        for i in range(count)
+    ]

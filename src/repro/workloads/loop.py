@@ -1,0 +1,45 @@
+"""A loop plus its execution profile.
+
+The paper weights every loop by profile data: how many times the loop
+is entered (visits) and how many iterations each visit runs. Both feed
+the ``Texec = (N - 1 + SC) * II`` model and the IPC aggregation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.ddg.graph import Ddg
+
+
+@dataclasses.dataclass(frozen=True)
+class Loop:
+    """One modulo-schedulable innermost loop with profile weights.
+
+    Attributes:
+        ddg: the loop body.
+        iterations: average iterations per visit (the paper's N).
+        visits: times the loop is entered during the program run.
+        benchmark: owning benchmark name (e.g. ``"su2cor"``).
+    """
+
+    ddg: Ddg
+    iterations: int
+    visits: int
+    benchmark: str = ""
+
+    def __post_init__(self) -> None:
+        if self.iterations <= 0:
+            raise ValueError(f"iterations must be >= 1, got {self.iterations}")
+        if self.visits <= 0:
+            raise ValueError(f"visits must be >= 1, got {self.visits}")
+
+    @property
+    def name(self) -> str:
+        """The loop's DDG name."""
+        return self.ddg.name
+
+    @property
+    def dynamic_instructions(self) -> int:
+        """Original program operations executed by this loop overall."""
+        return len(self.ddg) * self.iterations * self.visits

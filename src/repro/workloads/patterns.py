@@ -1,0 +1,119 @@
+"""Hand-shaped loop patterns for examples and tests.
+
+These are small, recognizable numeric kernels expressed as DDGs:
+a daxpy-style update, a 5-point stencil, and a dot-product reduction.
+The synthetic SPECfp95 suite (:mod:`repro.workloads.generator`) builds
+statistically controlled variations of the same ingredients.
+"""
+
+from __future__ import annotations
+
+from repro.ddg.builder import DdgBuilder
+from repro.ddg.graph import Ddg
+
+
+def daxpy() -> Ddg:
+    """``y[i] = a * x[i] + y[i]`` with explicit address arithmetic."""
+    b = DdgBuilder("daxpy")
+    b.int_op("i")  # induction variable
+    b.dep("i", "i", distance=1)
+    b.int_op("addr_x").int_op("addr_y")
+    b.dep("i", "addr_x").dep("i", "addr_y")
+    b.load("ld_x").load("ld_y")
+    b.dep("addr_x", "ld_x").dep("addr_y", "ld_y")
+    b.fp_mul("mul")
+    b.dep("ld_x", "mul")
+    b.fp_op("add")
+    b.dep("mul", "add").dep("ld_y", "add")
+    b.store("st_y")
+    b.dep("add", "st_y").dep("addr_y", "st_y")
+    return b.build()
+
+
+def stencil5() -> Ddg:
+    """A 5-point stencil: one address base shared by five loads."""
+    b = DdgBuilder("stencil5")
+    b.int_op("i")
+    b.dep("i", "i", distance=1)
+    b.int_op("base")
+    b.dep("i", "base")
+    for point in ("n", "s", "e", "w", "c"):
+        b.int_op(f"addr_{point}")
+        b.dep("base", f"addr_{point}")
+        b.load(f"ld_{point}")
+        b.dep(f"addr_{point}", f"ld_{point}")
+    b.fp_op("sum_ns")
+    b.dep("ld_n", "sum_ns").dep("ld_s", "sum_ns")
+    b.fp_op("sum_ew")
+    b.dep("ld_e", "sum_ew").dep("ld_w", "sum_ew")
+    b.fp_op("sum_all")
+    b.dep("sum_ns", "sum_all").dep("sum_ew", "sum_all")
+    b.fp_mul("scale")
+    b.dep("sum_all", "scale")
+    b.fp_op("relax")
+    b.dep("scale", "relax").dep("ld_c", "relax")
+    b.store("st")
+    b.dep("relax", "st").dep("addr_c", "st")
+    return b.build()
+
+
+def dot_product() -> Ddg:
+    """``acc += x[i] * y[i]`` — a loop-carried FP recurrence."""
+    b = DdgBuilder("dot_product")
+    b.int_op("i")
+    b.dep("i", "i", distance=1)
+    b.int_op("addr_x").int_op("addr_y")
+    b.dep("i", "addr_x").dep("i", "addr_y")
+    b.load("ld_x").load("ld_y")
+    b.dep("addr_x", "ld_x").dep("addr_y", "ld_y")
+    b.fp_mul("mul")
+    b.dep("ld_x", "mul").dep("ld_y", "mul")
+    b.fp_op("acc")
+    b.dep("mul", "acc")
+    b.dep("acc", "acc", distance=1)
+    return b.build()
+
+
+def figure3_graph() -> Ddg:
+    """The paper's Figure 3 example graph (14 nodes, 4 clusters).
+
+    Edges are reconstructed from the figure and the worked arithmetic:
+    A feeds B, C and E; B and C feed D; D feeds E and L (cluster 1);
+    E feeds J (cluster 2) and G (cluster 4); I feeds J; J feeds K and
+    communicates to L (cluster 1) and F (cluster 4); the L-M-N and
+    F-G-H columns are local chains. All operations are integer so every
+    node runs on the example's universal 4-FU clusters.
+    """
+    b = DdgBuilder("figure3")
+    for label in "ABCDE":
+        b.int_op(label)
+    for label in "IJK":
+        b.int_op(label)
+    for label in "LMN":
+        b.int_op(label)
+    for label in "FGH":
+        b.int_op(label)
+    b.dep("A", "B").dep("A", "C").dep("A", "E")
+    b.dep("B", "D").dep("C", "D")
+    b.dep("D", "E")
+    b.dep("E", "J").dep("E", "G")
+    b.dep("I", "J")
+    b.dep("J", "K").dep("J", "L").dep("J", "F")
+    b.dep("D", "F")
+    b.dep("L", "M").dep("M", "N")
+    b.dep("F", "G").dep("G", "H")
+    return b.build()
+
+
+def figure3_partition() -> dict[str, int]:
+    """The cluster assignment used in the paper's Figure 3 example."""
+    assignment = {}
+    for label in "LMN":
+        assignment[label] = 0  # cluster 1 in the paper's numbering
+    for label in "IJK":
+        assignment[label] = 1  # cluster 2
+    for label in "ABCDE":
+        assignment[label] = 2  # cluster 3
+    for label in "FGH":
+        assignment[label] = 3  # cluster 4
+    return assignment

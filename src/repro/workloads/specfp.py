@@ -1,0 +1,233 @@
+"""The synthetic SPECfp95 suite: 678 loops across 10 benchmarks.
+
+Each benchmark gets a structural signature chosen so the phenomena the
+paper reports for it re-emerge from the mechanism (bus pressure vs. FU
+pressure), per the substitution note in DESIGN.md:
+
+* **tomcatv / swim / su2cor** — wide loops with heavily shared integer
+  address values: partitions must communicate a lot, and the shared
+  values have small integer subgraphs, so replication pays off most
+  (the paper reports 50–70% speedups here).
+* **mgrid** — separable streams with private addresses: the partitioner
+  finds nearly communication-free partitions, so clustering barely
+  hurts and replication has nothing to win (Figure 8).
+* **applu** — communication-bound *structure* but tiny trip counts
+  (around 4 iterations per visit): replication still cuts the II by
+  10–20% (Figure 9) yet IPC barely moves because prolog/epilog time
+  dominates.
+* **hydro2d / turb3d / apsi / wave5** — mixed, moderate sharing.
+* **fpppp** — very deep FP dependence chains with few memory accesses;
+  FU- and latency-bound rather than bus-bound.
+
+The loop-count split over benchmarks sums to the paper's 678. All
+generation is deterministic (seeded by benchmark name).
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.workloads.generator import LoopSpec, generate_suite
+from repro.workloads.loop import Loop
+
+#: Display order used throughout the paper's figures.
+BENCHMARK_ORDER: tuple[str, ...] = (
+    "tomcatv",
+    "swim",
+    "su2cor",
+    "hydro2d",
+    "mgrid",
+    "applu",
+    "turb3d",
+    "apsi",
+    "fpppp",
+    "wave5",
+)
+
+#: Loops per benchmark; totals the paper's 678 modulo-scheduled loops.
+LOOP_COUNTS: dict[str, int] = {
+    "tomcatv": 24,
+    "swim": 32,
+    "su2cor": 60,
+    "hydro2d": 88,
+    "mgrid": 18,
+    "applu": 106,
+    "turb3d": 74,
+    "apsi": 126,
+    "fpppp": 56,
+    "wave5": 94,
+}
+
+#: Structural signatures; see the module docstring for the rationale.
+BENCHMARK_SPECS: dict[str, LoopSpec] = {
+    "tomcatv": LoopSpec(
+        name="tomcatv",
+        n_streams=5,
+        stream_depth=(2, 4),
+        shared_values=5,
+        shared_fanout=(3, 5),
+        loads_per_stream=(1, 2),
+        cross_link_prob=0.10,
+        recurrence_prob=0.10,
+        trip_range=(150, 260),
+        visit_range=(300, 800),
+    ),
+    "swim": LoopSpec(
+        name="swim",
+        n_streams=5,
+        stream_depth=(2, 3),
+        shared_values=5,
+        shared_fanout=(3, 4),
+        loads_per_stream=(1, 3),
+        cross_link_prob=0.08,
+        recurrence_prob=0.05,
+        trip_range=(300, 520),
+        visit_range=(200, 600),
+    ),
+    "su2cor": LoopSpec(
+        name="su2cor",
+        n_streams=6,
+        stream_depth=(2, 4),
+        shared_values=6,
+        shared_fanout=(3, 6),
+        loads_per_stream=(1, 2),
+        cross_link_prob=0.12,
+        recurrence_prob=0.10,
+        trip_range=(60, 140),
+        visit_range=(400, 1200),
+    ),
+    "hydro2d": LoopSpec(
+        name="hydro2d",
+        n_streams=4,
+        stream_depth=(2, 4),
+        shared_values=4,
+        shared_fanout=(2, 3),
+        loads_per_stream=(1, 2),
+        cross_link_prob=0.15,
+        recurrence_prob=0.15,
+        big_loop_fraction=0.10,
+        trip_range=(80, 160),
+        visit_range=(200, 800),
+    ),
+    "mgrid": LoopSpec(
+        name="mgrid",
+        n_streams=4,
+        stream_depth=(2, 4),
+        shared_values=4,
+        shared_fanout=(1, 1),
+        loads_per_stream=(1, 3),
+        cross_link_prob=0.0,
+        recurrence_prob=0.10,
+        trip_range=(30, 120),
+        visit_range=(300, 900),
+    ),
+    "applu": LoopSpec(
+        name="applu",
+        n_streams=5,
+        stream_depth=(2, 4),
+        shared_values=5,
+        shared_fanout=(3, 4),
+        loads_per_stream=(1, 2),
+        cross_link_prob=0.10,
+        recurrence_prob=0.10,
+        trip_range=(3, 6),
+        visit_range=(5000, 20000),
+    ),
+    "turb3d": LoopSpec(
+        name="turb3d",
+        n_streams=5,
+        stream_depth=(3, 6),
+        shared_values=4,
+        shared_fanout=(2, 3),
+        loads_per_stream=(1, 2),
+        cross_link_prob=0.18,
+        recurrence_prob=0.20,
+        fp_div_prob=0.06,
+        big_loop_fraction=0.15,
+        trip_range=(40, 120),
+        visit_range=(300, 900),
+    ),
+    "apsi": LoopSpec(
+        name="apsi",
+        n_streams=4,
+        stream_depth=(2, 4),
+        shared_values=4,
+        shared_fanout=(2, 3),
+        loads_per_stream=(1, 2),
+        cross_link_prob=0.15,
+        recurrence_prob=0.20,
+        fp_div_prob=0.05,
+        big_loop_fraction=0.15,
+        trip_range=(50, 150),
+        visit_range=(200, 700),
+    ),
+    "fpppp": LoopSpec(
+        name="fpppp",
+        n_streams=5,
+        stream_depth=(5, 9),
+        shared_values=2,
+        shared_fanout=(1, 2),
+        loads_per_stream=(1, 1),
+        cross_link_prob=0.30,
+        recurrence_prob=0.15,
+        fp_mul_ratio=0.55,
+        fp_div_prob=0.10,
+        big_loop_fraction=0.30,
+        trip_range=(30, 90),
+        visit_range=(200, 700),
+    ),
+    "wave5": LoopSpec(
+        name="wave5",
+        n_streams=4,
+        stream_depth=(2, 4),
+        shared_values=4,
+        shared_fanout=(2, 4),
+        loads_per_stream=(1, 2),
+        cross_link_prob=0.12,
+        recurrence_prob=0.15,
+        big_loop_fraction=0.15,
+        trip_range=(60, 160),
+        visit_range=(300, 900),
+    ),
+}
+
+
+def _seed_for(name: str) -> int:
+    """Stable per-benchmark seed (independent of hash randomization)."""
+    return zlib.crc32(name.encode("ascii"))
+
+
+def benchmark_loops(name: str, limit: int | None = None) -> list[Loop]:
+    """Loops of one benchmark, deterministically generated.
+
+    ``limit`` truncates the suite (used by fast test/bench modes); the
+    prefix is stable, so a limited run samples the same loops every
+    time.
+    """
+    if name not in BENCHMARK_SPECS:
+        raise KeyError(f"unknown benchmark {name!r}; see BENCHMARK_ORDER")
+    count = LOOP_COUNTS[name]
+    if limit is not None:
+        count = min(count, limit)
+    return generate_suite(BENCHMARK_SPECS[name], count, _seed_for(name))
+
+
+def full_suite(limit_per_benchmark: int | None = None) -> dict[str, list[Loop]]:
+    """All benchmarks in paper order -> their loops."""
+    return {
+        name: benchmark_loops(name, limit_per_benchmark)
+        for name in BENCHMARK_ORDER
+    }
+
+
+def all_loops(limit_per_benchmark: int | None = None) -> list[Loop]:
+    """The flat 678-loop list (or a truncated deterministic sample)."""
+    loops: list[Loop] = []
+    for suite in full_suite(limit_per_benchmark).values():
+        loops.extend(suite)
+    return loops
+
+
+def total_loops() -> int:
+    """Size of the full suite (678, matching the paper)."""
+    return sum(LOOP_COUNTS.values())

@@ -1,0 +1,82 @@
+"""The paper's Figure 11 example: length-driven partial replication.
+
+Figure 11 shows a block where instruction A (cluster 2) feeds D
+(cluster 1, on the critical path A-D-E) and also a consumer in cluster
+3. Replicating A *only into cluster 1* removes the bus latency from the
+critical path while the communication to cluster 3 survives — and the
+schedule shrinks by one bus latency.
+"""
+
+import pytest
+
+from repro.acyclic.replicate import replicate_acyclic
+from repro.core.plan import EMPTY_PLAN
+from repro.ddg.builder import DdgBuilder
+from repro.machine.config import parse_config
+from repro.partition.partition import Partition
+from repro.schedule.placed import build_placed_graph
+
+
+@pytest.fixture
+def figure11():
+    """A feeds the critical D-E chain (cluster 1) and F (cluster 3)."""
+    b = DdgBuilder("figure11")
+    b.int_op("A")
+    b.fp_op("D").fp_op("E")
+    b.chain("A", "D", "E")
+    b.fp_op("B").fp_op("C")  # local work in cluster 2 beside A
+    b.dep("A", "B")
+    b.chain("B", "C")
+    b.int_op("F")  # cluster 3 consumer of A
+    b.dep("A", "F")
+    g = b.build()
+    assignment = {
+        g.node_by_name("D").uid: 0,  # cluster 1 in the paper's numbering
+        g.node_by_name("E").uid: 0,
+        g.node_by_name("A").uid: 1,  # cluster 2
+        g.node_by_name("B").uid: 1,
+        g.node_by_name("C").uid: 1,
+        g.node_by_name("F").uid: 2,  # cluster 3
+    }
+    return g, assignment
+
+
+@pytest.fixture
+def m4():
+    return parse_config("4c1b2l64r")
+
+
+class TestFigure11:
+    def test_replication_shortens_the_schedule(self, figure11, m4):
+        g, assignment = figure11
+        part = Partition(g, assignment, 4)
+        result = replicate_acyclic(part, m4)
+        assert result.improvement >= m4.bus.latency
+
+    def test_a_replicated_only_into_the_critical_cluster(self, figure11, m4):
+        g, assignment = figure11
+        part = Partition(g, assignment, 4)
+        result = replicate_acyclic(part, m4)
+        a = g.node_by_name("A").uid
+        assert result.plan.replicas.get(a) == frozenset({0})
+
+    def test_communication_to_cluster_3_survives(self, figure11, m4):
+        """Exactly the paper's point: the comm does not disappear."""
+        g, assignment = figure11
+        part = Partition(g, assignment, 4)
+        result = replicate_acyclic(part, m4)
+        placed = build_placed_graph(g, part, m4, result.plan)
+        assert placed.n_comms() == 1
+        (copy,) = placed.copies()
+        assert g.node(copy.origin).name == "A"
+
+    def test_baseline_pays_the_bus_on_the_critical_path(self, figure11, m4):
+        from repro.acyclic.listsched import list_schedule
+
+        g, assignment = figure11
+        part = Partition(g, assignment, 4)
+        baseline = list_schedule(
+            build_placed_graph(g, part, m4, EMPTY_PLAN), m4
+        )
+        # A(1) + bus(2) + D(3) + E(3) = 9 on the critical path.
+        assert baseline.length == 9

@@ -1,0 +1,126 @@
+"""The acyclic list scheduler."""
+
+import pytest
+
+from repro.acyclic.listsched import AcyclicError, list_schedule
+from repro.core.plan import EMPTY_PLAN
+from repro.ddg.builder import DdgBuilder
+from repro.machine.config import parse_config, unified_machine
+from repro.machine.resources import FuKind
+from repro.partition.partition import Partition
+from repro.partition.multilevel import initial_partition
+from repro.schedule.placed import build_placed_graph
+from repro.workloads.acyclic import acyclic_block, acyclic_blocks
+from repro.workloads.patterns import daxpy
+
+
+def placed_for(ddg, machine):
+    if machine.is_clustered:
+        part = initial_partition(ddg, machine, ii=4)
+    else:
+        part = Partition(ddg, {u: 0 for u in ddg.node_ids()}, 1)
+    return build_placed_graph(ddg, part, machine, EMPTY_PLAN)
+
+
+def check_schedule(schedule):
+    """Independent re-verification of an acyclic schedule."""
+    graph, machine = schedule.graph, schedule.machine
+    # Dependences.
+    for inst in graph.instances():
+        for edge in graph.out_edges(inst.iid):
+            ready = schedule.start[inst.iid] + machine.latency_of(
+                inst.op_class
+            )
+            assert schedule.start[edge.dst] >= ready
+    # FU and bus limits per cycle.
+    fu = {}
+    bus = {}
+    for inst in graph.instances():
+        cycle = schedule.start[inst.iid]
+        if inst.is_copy:
+            index = schedule.buses[inst.iid]
+            for offset in range(machine.bus.latency):
+                key = (cycle + offset, index)
+                assert key not in bus, key
+                bus[key] = inst.name
+        else:
+            key = (cycle, inst.cluster, inst.fu_kind)
+            fu[key] = fu.get(key, 0) + 1
+            assert fu[key] <= machine.fu_count(inst.cluster, inst.fu_kind)
+
+
+class TestListSchedule:
+    def test_chain_back_to_back(self, chain_ddg):
+        m = unified_machine()
+        block = acyclic_block(chain_ddg)
+        schedule = list_schedule(placed_for(block, m), m)
+        assert schedule.length == 7  # load 2 + add 3 + store 2
+        check_schedule(schedule)
+
+    def test_parallel_ops_share_cycle(self):
+        b = DdgBuilder()
+        for i in range(4):
+            b.int_op(f"p{i}")
+        g = b.build()
+        m = unified_machine()  # 4 INT units
+        schedule = list_schedule(placed_for(g, m), m)
+        assert schedule.length == 1
+        assert schedule.issue_width_used(0) == 4
+
+    def test_fu_contention_serializes(self):
+        b = DdgBuilder()
+        for i in range(6):
+            b.int_op(f"p{i}")
+        g = b.build()
+        m = parse_config("2c1b2l64r")  # 2 INT units per cluster
+        part = Partition(g, {u: 0 for u in g.node_ids()}, 2)
+        graph = build_placed_graph(g, part, m, EMPTY_PLAN)
+        schedule = list_schedule(graph, m)
+        assert schedule.length == 3  # 6 ops / 2 units
+        check_schedule(schedule)
+
+    def test_cross_cluster_pays_bus_latency(self):
+        b = DdgBuilder()
+        b.int_op("p").int_op("c")
+        b.dep("p", "c")
+        g = b.build()
+        m = parse_config("2c1b2l64r")
+        split = Partition(
+            g,
+            {g.node_by_name("p").uid: 0, g.node_by_name("c").uid: 1},
+            2,
+        )
+        local = Partition(g, {u: 0 for u in g.node_ids()}, 2)
+        far = list_schedule(build_placed_graph(g, split, m, EMPTY_PLAN), m)
+        near = list_schedule(build_placed_graph(g, local, m, EMPTY_PLAN), m)
+        assert far.length == near.length + m.bus.latency
+        check_schedule(far)
+
+    def test_critical_path_priority(self):
+        """A long chain is preferred over fluff when units are scarce."""
+        b = DdgBuilder()
+        b.fp_op("c0").fp_op("c1").fp_op("c2")
+        b.chain("c0", "c1", "c2")
+        for i in range(3):
+            b.fp_op(f"fluff{i}")
+        g = b.build()
+        m = parse_config("4c1b2l64r")  # 1 FP unit per cluster
+        part = Partition(g, {u: 0 for u in g.node_ids()}, 4)
+        schedule = list_schedule(build_placed_graph(g, part, m, EMPTY_PLAN), m)
+        # c0 must go first; fluff fills the chain's pipeline gaps, so
+        # the chain alone (3 x latency 3) bounds the schedule.
+        assert schedule.start[g.node_by_name("c0").uid] == 0
+        assert schedule.length == 9
+
+    def test_loop_carried_edges_rejected(self, dot_ddg):
+        m = unified_machine()
+        graph = placed_for(dot_ddg, m)
+        with pytest.raises(AcyclicError):
+            list_schedule(graph, m)
+
+    def test_suite_blocks_schedule_cleanly(self):
+        m = parse_config("4c1b2l64r")
+        for block in acyclic_blocks("hydro2d", limit=4):
+            schedule = list_schedule(placed_for(block, m), m)
+            check_schedule(schedule)
+            assert schedule.length > 0

@@ -1,0 +1,78 @@
+"""Length-driven replication on acyclic blocks."""
+
+import pytest
+
+from repro.acyclic.replicate import replicate_acyclic
+from repro.ddg.builder import DdgBuilder
+from repro.machine.config import parse_config, unified_machine
+from repro.partition.partition import Partition
+from repro.partition.multilevel import initial_partition
+from repro.workloads.acyclic import acyclic_blocks
+
+
+@pytest.fixture
+def m2():
+    return parse_config("2c1b2l64r")
+
+
+@pytest.fixture
+def critical_split(m2):
+    """A cheap producer feeding the critical chain across clusters."""
+    b = DdgBuilder()
+    b.int_op("a")
+    b.fp_op("d").fp_op("e").fp_op("f")
+    b.chain("a", "d", "e", "f")
+    b.fp_op("side")
+    b.dep("a", "side")
+    g = b.build()
+    part = Partition(
+        g,
+        {
+            g.node_by_name("a").uid: 0,
+            g.node_by_name("side").uid: 0,
+            g.node_by_name("d").uid: 1,
+            g.node_by_name("e").uid: 1,
+            g.node_by_name("f").uid: 1,
+        },
+        2,
+    )
+    return g, part
+
+
+class TestReplicateAcyclic:
+    def test_removes_critical_bus_latency(self, critical_split, m2):
+        g, part = critical_split
+        result = replicate_acyclic(part, m2)
+        assert result.improvement >= m2.bus.latency
+        a = g.node_by_name("a").uid
+        assert a in result.plan.replicas
+
+    def test_never_worse_than_baseline(self, m2):
+        for block in acyclic_blocks("su2cor", limit=4):
+            part = initial_partition(block, m2, ii=4)
+            result = replicate_acyclic(part, m2)
+            assert result.length <= result.baseline_length
+
+    def test_unified_machine_noop(self, critical_split):
+        g, _ = critical_split
+        m = unified_machine()
+        part = Partition(g, {u: 0 for u in g.node_ids()}, 1)
+        result = replicate_acyclic(part, m)
+        assert result.improvement == 0
+        assert result.plan.is_empty
+
+    def test_local_block_untouched(self, m2):
+        b = DdgBuilder()
+        b.int_op("a").fp_op("b")
+        b.dep("a", "b")
+        g = b.build()
+        part = Partition(g, {u: 0 for u in g.node_ids()}, 2)
+        result = replicate_acyclic(part, m2)
+        assert result.plan.is_empty
+
+    def test_replication_keeps_schedule_sound(self, critical_split, m2):
+        from tests.acyclic.test_listsched import check_schedule
+
+        g, part = critical_split
+        result = replicate_acyclic(part, m2)
+        check_schedule(result.schedule)

@@ -1,0 +1,151 @@
+"""Code generation: flat programs and the software-pipeline factorization."""
+
+import pytest
+
+from repro.codegen.emit import emit_assembly
+from repro.codegen.program import flat_program, software_pipeline
+from repro.core.plan import EMPTY_PLAN
+from repro.core.replicator import replicate
+from repro.machine.config import parse_config, unified_machine
+from repro.machine.resources import FuKind
+from repro.partition.partition import Partition
+from repro.partition.multilevel import initial_partition
+from repro.schedule.placed import build_placed_graph
+from repro.schedule.scheduler import schedule
+from repro.workloads.patterns import daxpy, dot_product, stencil5
+
+
+@pytest.fixture
+def m2():
+    return parse_config("2c1b2l64r")
+
+
+def kernel_for(ddg, machine, ii, with_replication=False):
+    if machine.is_clustered:
+        part = initial_partition(ddg, machine, ii)
+    else:
+        part = Partition(ddg, {u: 0 for u in ddg.node_ids()}, 1)
+    plan = replicate(part, machine, ii) if with_replication else EMPTY_PLAN
+    graph = build_placed_graph(ddg, part, machine, plan)
+    return schedule(graph, machine, ii)
+
+
+class TestFlatProgram:
+    def test_covers_texec_cycles(self, m2):
+        kernel = kernel_for(stencil5(), m2, 6)
+        n = 12
+        program = flat_program(kernel, n)
+        assert program.n_cycles == (n - 1) * kernel.ii + kernel.length
+
+    def test_each_op_issued_once_per_iteration(self, m2):
+        kernel = kernel_for(daxpy(), m2, 4)
+        n = 7
+        program = flat_program(kernel, n)
+        assert program.issue_count() == len(kernel.ops) * n
+
+    def test_words_respect_fu_limits(self, m2):
+        kernel = kernel_for(stencil5(), m2, 6)
+        program = flat_program(kernel, 20)
+        for word in program.words:
+            usage = {}
+            for op in word.ops:
+                if op.op_class == "copy":
+                    continue
+                key = (op.cluster, op.op_class)
+                usage[key] = usage.get(key, 0) + 1
+            for (cluster, op_class), count in usage.items():
+                from repro.machine.resources import OpClass, fu_kind_of
+
+                kind = fu_kind_of(OpClass(op_class))
+                assert count <= m2.fu_count(cluster, kind)
+
+    def test_zero_iterations_empty(self, m2):
+        kernel = kernel_for(daxpy(), m2, 4)
+        assert flat_program(kernel, 0).n_cycles == 0
+
+    def test_negative_rejected(self, m2):
+        kernel = kernel_for(daxpy(), m2, 4)
+        with pytest.raises(ValueError):
+            flat_program(kernel, -2)
+
+
+class TestSoftwarePipeline:
+    @pytest.mark.parametrize("make,ii", [(daxpy, 4), (stencil5, 6), (dot_product, 4)])
+    def test_shape(self, m2, make, ii):
+        kernel = kernel_for(make(), m2, ii, with_replication=True)
+        loop = software_pipeline(kernel)
+        assert len(loop.kernel) == kernel.ii
+        assert len(loop.prolog) == (kernel.stage_count - 1) * kernel.ii
+        assert loop.stage_count == kernel.stage_count
+
+    def test_kernel_contains_every_op_once(self, m2):
+        kernel = kernel_for(stencil5(), m2, 6)
+        loop = software_pipeline(kernel)
+        names = [op.name for word in loop.kernel for op in word.ops]
+        assert sorted(names) == sorted(
+            op.instance.name for op in kernel.ops.values()
+        )
+
+    def test_stitching_reproduces_flat_program(self, m2):
+        """prolog + kernel*(N-SC+1) + epilog == flat(N), word for word."""
+        kernel = kernel_for(daxpy(), m2, 4, with_replication=True)
+        loop = software_pipeline(kernel)
+        sc, ii = kernel.stage_count, kernel.ii
+        n = sc + 3
+        flat = flat_program(kernel, n)
+        fill = (sc - 1) * ii
+
+        def key(ops):
+            return sorted((o.name, o.cluster, o.iteration) for o in ops)
+
+        for cycle, word in enumerate(flat.words):
+            if cycle < fill:
+                expected = loop.prolog[cycle].ops
+                assert key(word.ops) == key(expected), f"prolog cycle {cycle}"
+            elif cycle < n * ii:
+                window, row = divmod(cycle - fill, ii)
+                # A kernel op tagged with stage s belongs to the
+                # iteration that entered the pipeline s windows ago:
+                # i = (SC - 1) - s + window.
+                expected = [
+                    (o.name, o.cluster, (sc - 1) - o.iteration + window)
+                    for o in loop.kernel[row].ops
+                ]
+                assert key(word.ops) == sorted(expected), f"kernel cycle {cycle}"
+            else:
+                shift = n - sc
+                expected = [
+                    (o.name, o.cluster, o.iteration + shift)
+                    for o in loop.epilog[cycle - n * ii].ops
+                ]
+                assert key(word.ops) == sorted(expected), f"epilog cycle {cycle}"
+
+    def test_code_words_accounting(self, m2):
+        kernel = kernel_for(stencil5(), m2, 6)
+        loop = software_pipeline(kernel)
+        assert loop.code_words == (
+            len(loop.prolog) + len(loop.kernel) + len(loop.epilog)
+        )
+        assert loop.min_iterations() == kernel.stage_count
+
+
+class TestEmit:
+    def test_assembly_sections(self, m2):
+        kernel = kernel_for(daxpy(), m2, 4, with_replication=True)
+        text = emit_assembly(software_pipeline(kernel), name="daxpy")
+        assert "prolog:" in text
+        assert "kernel:" in text
+        assert "epilog:" in text
+        assert "II=4" in text
+
+    def test_bus_annotation(self, m2):
+        kernel = kernel_for(daxpy(), m2, 4)
+        text = emit_assembly(software_pipeline(kernel))
+        if kernel.n_copy_ops():
+            assert "bus" in text
+
+    def test_unified_machine_program(self):
+        m = unified_machine()
+        kernel = kernel_for(stencil5(), m, 2)
+        text = emit_assembly(software_pipeline(kernel), name="stencil5")
+        assert "copy" not in text

@@ -1,0 +1,130 @@
+"""Value cloning (the Kuras et al. baseline)."""
+
+import pytest
+
+from repro.core.cloning import clone_values, is_clonable
+from repro.core.replicator import replicate
+from repro.core.state import ReplicationState
+from repro.ddg.builder import DdgBuilder
+from repro.machine.config import parse_config
+from repro.partition.partition import Partition
+from repro.schedule.placed import build_placed_graph
+from repro.schedule.scheduler import schedule
+from repro.sim.verifier import verify_kernel
+
+
+@pytest.fixture
+def m2():
+    return parse_config("2c1b2l64r")
+
+
+def state_for(ddg, mapping, machine, ii=2):
+    part = Partition(
+        ddg, {ddg.node_by_name(k).uid: v for k, v in mapping.items()},
+        machine.n_clusters,
+    )
+    return part, ReplicationState(part, machine, ii)
+
+
+class TestClonable:
+    def test_root_nodes_clonable(self, m2):
+        b = DdgBuilder()
+        b.int_op("base").fp_op("use")
+        b.dep("base", "use")
+        g = b.build()
+        _, state = state_for(g, {"base": 0, "use": 1}, m2)
+        assert is_clonable(state, g.node_by_name("base").uid)
+
+    def test_induction_variable_clonable(self, m2):
+        b = DdgBuilder()
+        b.int_op("i").fp_op("use")
+        b.dep("i", "i", distance=1)
+        b.dep("i", "use")
+        g = b.build()
+        _, state = state_for(g, {"i": 0, "use": 1}, m2)
+        assert is_clonable(state, g.node_by_name("i").uid)
+
+    def test_computed_values_not_clonable(self, m2):
+        b = DdgBuilder()
+        b.int_op("a").int_op("b").fp_op("use")
+        b.dep("a", "b").dep("b", "use")
+        g = b.build()
+        _, state = state_for(g, {"a": 0, "b": 0, "use": 1}, m2)
+        assert not is_clonable(state, g.node_by_name("b").uid)
+
+    def test_stores_not_clonable(self, m2):
+        b = DdgBuilder()
+        b.store("st")
+        g = b.build()
+        _, state = state_for(g, {"st": 0}, m2)
+        assert not is_clonable(state, g.node_by_name("st").uid)
+
+
+class TestCloneValues:
+    def test_clones_remove_cheap_comms(self, m2):
+        b = DdgBuilder()
+        b.int_op("i").fp_op("u0").fp_op("u1")
+        b.dep("i", "i", distance=1)
+        b.dep("i", "u0").dep("i", "u1")
+        b.int_op("x").int_op("y").fp_op("uy")
+        b.chain("x", "y")
+        b.dep("y", "uy")
+        g = b.build()
+        part, _ = state_for(
+            g, {"i": 0, "u0": 1, "u1": 1, "x": 0, "y": 0, "uy": 1}, m2, 2
+        )
+        plan = clone_values(part, m2, ii=2)
+        i = g.node_by_name("i").uid
+        # The induction variable is cloned; y (computed) is not.
+        assert i in plan.replicas
+        assert g.node_by_name("y").uid not in plan.replicas
+
+    def test_cloned_plans_schedule_and_verify(self, m2):
+        b = DdgBuilder()
+        b.int_op("i").fp_op("u0").fp_op("u1")
+        b.dep("i", "i", distance=1)
+        b.dep("i", "u0").dep("i", "u1")
+        b.int_op("x").fp_op("ux")
+        b.dep("x", "ux")
+        g = b.build()
+        part, _ = state_for(
+            g, {"i": 0, "u0": 1, "u1": 1, "x": 0, "ux": 1}, m2, 2
+        )
+        plan = clone_values(part, m2, ii=2)
+        placed = build_placed_graph(g, part, m2, plan)
+        kernel = schedule(placed, m2, ii=2)
+        verify_kernel(kernel)
+
+    def test_cloning_weaker_than_replication(self, m2):
+        """Cloning cannot chase producers, so it removes fewer comms."""
+        b = DdgBuilder()
+        # Both comms are fed by computed values: cloning is powerless.
+        b.int_op("a0").int_op("b0").fp_op("u0")
+        b.chain("a0", "b0")
+        b.dep("b0", "u0")
+        b.int_op("a1").int_op("b1").fp_op("u1")
+        b.chain("a1", "b1")
+        b.dep("b1", "u1")
+        g = b.build()
+        part, _ = state_for(
+            g,
+            {"a0": 0, "b0": 0, "u0": 1, "a1": 0, "b1": 0, "u1": 1},
+            m2,
+            2,
+        )
+        cloned = clone_values(part, m2, ii=2)
+        replicated = replicate(part, m2, ii=2)
+        assert not cloned.feasible
+        assert replicated.feasible
+        assert replicated.n_removed_comms > cloned.n_removed_comms
+
+    def test_respects_bus_stop_rule(self, m2):
+        b = DdgBuilder()
+        b.int_op("i").fp_op("u0")
+        b.int_op("j").fp_op("u1")
+        b.dep("i", "u0").dep("j", "u1")
+        g = b.build()
+        part, _ = state_for(g, {"i": 0, "j": 0, "u0": 1, "u1": 1}, m2, 4)
+        # Capacity 2 at II=4 covers both comms: nothing cloned.
+        plan = clone_values(part, m2, ii=4)
+        assert plan.is_empty

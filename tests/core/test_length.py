@@ -1,0 +1,109 @@
+"""Section 5.1: replication to reduce the schedule length."""
+
+import pytest
+
+from repro.core.length import replicate_for_length
+from repro.core.plan import EMPTY_PLAN
+from repro.core.replicator import replicate
+from repro.ddg.builder import DdgBuilder
+from repro.machine.config import parse_config, unified_machine
+from repro.partition.partition import Partition
+from repro.schedule.order import placed_analysis
+from repro.schedule.placed import build_placed_graph
+
+
+@pytest.fixture
+def m2():
+    return parse_config("2c1b2l64r")
+
+
+@pytest.fixture
+def critical_comm(m2):
+    """A communication squarely on the critical path (Figure 11 shape)."""
+    b = DdgBuilder()
+    b.int_op("a").fp_op("d").fp_op("e")  # a -> d -> e across clusters
+    b.chain("a", "d", "e")
+    b.fp_op("b").fp_op("c")  # local work beside a
+    b.dep("a", "b")
+    b.chain("b", "c")
+    g = b.build()
+    part = Partition(
+        g,
+        {
+            g.node_by_name("a").uid: 0,
+            g.node_by_name("b").uid: 0,
+            g.node_by_name("c").uid: 0,
+            g.node_by_name("d").uid: 1,
+            g.node_by_name("e").uid: 1,
+        },
+        2,
+    )
+    return g, part
+
+
+class TestLengthReplication:
+    def test_reduces_estimated_length(self, critical_comm, m2):
+        g, part = critical_comm
+        ii = 4
+        plan = replicate_for_length(part, m2, ii, EMPTY_PLAN)
+        before = placed_analysis(
+            build_placed_graph(g, part, m2, EMPTY_PLAN), m2, ii
+        ).length
+        after = placed_analysis(
+            build_placed_graph(g, part, m2, plan), m2, ii
+        ).length
+        assert after < before
+
+    def test_replicates_only_into_critical_cluster(self, critical_comm, m2):
+        g, part = critical_comm
+        plan = replicate_for_length(part, m2, 4, EMPTY_PLAN)
+        a = g.node_by_name("a").uid
+        assert plan.replicas.get(a) == frozenset({1})
+
+    def test_communication_may_survive(self, m2):
+        """Replicating into one of two consumer clusters keeps the comm."""
+        # This needs >= 3 clusters so a's value feeds two foreign ones.
+        m4 = parse_config("4c1b2l64r")
+        b = DdgBuilder()
+        b.int_op("a").fp_op("crit").fp_op("tail").fp_op("other")
+        b.chain("a", "crit", "tail")
+        b.dep("a", "other")
+        g = b.build()
+        part = Partition(
+            g,
+            {
+                g.node_by_name("a").uid: 0,
+                g.node_by_name("crit").uid: 1,
+                g.node_by_name("tail").uid: 1,
+                g.node_by_name("other").uid: 2,
+            },
+            4,
+        )
+        plan = replicate_for_length(part, m4, 4, EMPTY_PLAN)
+        a = g.node_by_name("a").uid
+        if a in plan.replicas:
+            # 'other' still reads a over the bus.
+            placed = build_placed_graph(g, part, m4, plan)
+            assert placed.n_comms() >= 1
+
+    def test_noop_when_nothing_critical_crosses(self, m2):
+        b = DdgBuilder()
+        b.int_op("a").fp_op("b")
+        b.dep("a", "b")
+        g = b.build()
+        part = Partition(g, {u: 0 for u in g.node_ids()}, 2)
+        plan = replicate_for_length(part, m2, 4, EMPTY_PLAN)
+        assert plan.is_empty
+
+    def test_unclustered_machine_noop(self, critical_comm):
+        g, part = critical_comm
+        uni_part = Partition(g, {u: 0 for u in g.node_ids()}, 1)
+        plan = replicate_for_length(uni_part, unified_machine(), 4, EMPTY_PLAN)
+        assert plan.is_empty
+
+    def test_extends_existing_plan(self, critical_comm, m2):
+        g, part = critical_comm
+        base = replicate(part, m2, ii=2)
+        extended = replicate_for_length(part, m2, 4, base)
+        # Base decisions are preserved.
+        assert set(base.removed_comms) <= set(extended.removed_comms)

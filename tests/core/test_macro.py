@@ -1,0 +1,83 @@
+"""Section 5.2: macro-node replication (the blunt alternative)."""
+
+import pytest
+
+from repro.core.macro import macro_replicate
+from repro.core.replicator import replicate
+from repro.machine.config import parse_config
+from repro.partition.multilevel import MultilevelPartitioner
+from repro.schedule.placed import build_placed_graph
+from repro.schedule.scheduler import schedule
+from repro.sim.verifier import verify_kernel
+from repro.workloads.specfp import benchmark_loops
+
+
+@pytest.fixture
+def m4():
+    return parse_config("4c1b2l64r")
+
+
+def setup(loop, machine, ii):
+    partitioner = MultilevelPartitioner(ddg=loop.ddg, machine=machine)
+    part = partitioner.partition(ii)
+    return partitioner, part
+
+
+class TestMacroReplication:
+    def test_produces_valid_plans(self, m4):
+        for loop in benchmark_loops("tomcatv", limit=3):
+            for ii in range(6, 14):
+                partitioner, part = setup(loop, m4, ii)
+                plan = macro_replicate(part, m4, ii, partitioner.levels)
+                if not plan.feasible:
+                    continue
+                placed = build_placed_graph(loop.ddg, part, m4, plan)
+                try:
+                    kernel = schedule(placed, m4, ii)
+                except Exception:
+                    continue
+                verify_kernel(kernel)
+                return
+        pytest.fail("no feasible macro plan found in the sample")
+
+    def test_replicates_more_than_minimal_on_aggregate(self, m4):
+        """Section 5.2's conclusion: macro replication copies more.
+
+        Individual loops can go either way (a macro-node occasionally
+        coincides with the minimum subgraph), so the claim is checked
+        in aggregate over a sample.
+        """
+        total_min = total_macro = checked = 0
+        for loop in benchmark_loops("su2cor", limit=8):
+            ii = 8
+            partitioner, part = setup(loop, m4, ii)
+            minimal = replicate(part, m4, ii)
+            macro = macro_replicate(part, m4, ii, partitioner.levels)
+            if not (minimal.feasible and macro.feasible):
+                continue
+            if not minimal.n_removed_comms or not macro.n_removed_comms:
+                continue
+            total_min += minimal.n_replicated_instructions / minimal.n_removed_comms
+            total_macro += macro.n_replicated_instructions / macro.n_removed_comms
+            checked += 1
+        assert checked > 0
+        assert total_macro >= total_min
+
+    def test_same_stop_rule(self, m4):
+        loop = benchmark_loops("swim", limit=1)[0]
+        ii = 8
+        partitioner, part = setup(loop, m4, ii)
+        plan = macro_replicate(part, m4, ii, partitioner.levels)
+        if plan.feasible:
+            from repro.core.state import ReplicationState
+
+            state = ReplicationState.from_plan(part, m4, ii, plan)
+            assert state.extra_coms() == 0
+
+    def test_level_out_of_range_clamped(self, m4):
+        loop = benchmark_loops("swim", limit=1)[0]
+        partitioner, part = setup(loop, m4, 8)
+        plan = macro_replicate(
+            part, m4, 8, partitioner.levels, level_index=999
+        )
+        assert plan is not None

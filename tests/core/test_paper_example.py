@@ -1,0 +1,186 @@
+"""The paper's worked example, end to end (Figures 3 through 6).
+
+These tests pin the reproduction to the exact published arithmetic:
+subgraph memberships, destination clusters, the 49/16 - 31/16 - 40/16
+weights, the choice of S_E, and the post-replication updates (S_D grows
+a destination, S_J absorbs E and A, weight 42/8).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.removable import find_removable_instructions
+from repro.core.replicator import replicate, score_candidates
+from repro.core.state import ReplicationState
+from repro.core.subgraph import find_replication_subgraph
+from repro.core.weights import sharing_table, subgraph_weight
+
+
+def names(ddg, uids):
+    return {ddg.node(uid).name for uid in uids}
+
+
+def uid(ddg, label):
+    return ddg.node_by_name(label).uid
+
+
+@pytest.fixture
+def state(figure3_partitioned, example_machine):
+    return ReplicationState(figure3_partitioned, example_machine, ii=2)
+
+
+class TestInitialCommunications:
+    def test_three_communications(self, state):
+        ddg = state.ddg
+        comms = names(ddg, state.active_comms())
+        assert comms == {"D", "E", "J"}
+
+    def test_extra_coms_is_one(self, state):
+        # bus capacity = II / bus_lat * nof_buses = 2 / 1 * 1 = 2.
+        assert state.machine.bus.capacity(2) == 2
+        assert state.extra_coms() == 1
+
+    def test_destinations(self, state):
+        ddg = state.ddg
+        assert state.comm_destinations(uid(ddg, "D")) == {3}
+        assert state.comm_destinations(uid(ddg, "E")) == {1, 3}
+        assert state.comm_destinations(uid(ddg, "J")) == {0, 3}
+
+
+class TestInitialSubgraphs:
+    def test_sd_members(self, state):
+        sub = find_replication_subgraph(state, uid(state.ddg, "D"))
+        assert names(state.ddg, sub.members) == {"D", "B", "C", "A"}
+
+    def test_se_members_exclude_communicated_parent(self, state):
+        sub = find_replication_subgraph(state, uid(state.ddg, "E"))
+        assert names(state.ddg, sub.members) == {"E", "A"}
+
+    def test_sj_members(self, state):
+        sub = find_replication_subgraph(state, uid(state.ddg, "J"))
+        assert names(state.ddg, sub.members) == {"J", "I"}
+
+
+class TestInitialWeights:
+    def _weights(self, state):
+        subs = {
+            state.ddg.node(comm).name: find_replication_subgraph(state, comm)
+            for comm in state.active_comms()
+        }
+        sharing = sharing_table(list(subs.values()))
+        return {
+            name: subgraph_weight(
+                state, sub, find_removable_instructions(state, sub), sharing
+            )
+            for name, sub in subs.items()
+        }
+
+    def test_paper_weights(self, state):
+        """S_D and S_J match the paper exactly; S_E matches its *terms*.
+
+        The paper prints weight(S_E) = 5/8 + 5/8 + 5/8 + 5/16 - 4/8 and
+        calls the total 31/16, but those terms sum to 27/16 — an
+        arithmetic slip in the paper. We reproduce the terms (and the
+        resulting ranking, which is unaffected either way).
+        """
+        weights = self._weights(state)
+        assert weights["D"] == Fraction(49, 16)
+        assert weights["E"] == Fraction(27, 16)
+        assert weights["J"] == Fraction(40, 16)
+
+    def test_se_is_chosen(self, state):
+        candidates = score_candidates(state)
+        assert state.ddg.node(candidates[0].subgraph.comm).name == "E"
+
+    def test_only_e_removable_for_se(self, state):
+        sub = find_replication_subgraph(state, uid(state.ddg, "E"))
+        removable = find_removable_instructions(state, sub)
+        assert names(state.ddg, removable) == {"E"}
+
+    def test_d_kept_alive_by_its_communication(self, state):
+        """D loses its only local child (E) but still broadcasts."""
+        sub = find_replication_subgraph(state, uid(state.ddg, "E"))
+        removable = find_removable_instructions(state, sub)
+        assert uid(state.ddg, "D") not in removable
+
+
+class TestFigure6Updates:
+    @pytest.fixture
+    def updated(self, state):
+        """State after replicating S_E (the algorithm's first pick)."""
+        ddg = state.ddg
+        sub = find_replication_subgraph(state, uid(ddg, "E"))
+        removable = find_removable_instructions(state, sub)
+        state.apply(uid(ddg, "E"), dict(sub.needed), removable)
+        return state
+
+    def test_e_and_a_replicated_in_clusters_2_and_4(self, updated):
+        ddg = updated.ddg
+        assert updated.replicas[uid(ddg, "E")] == {1, 3}
+        assert updated.replicas[uid(ddg, "A")] == {1, 3}
+
+    def test_original_e_removed(self, updated):
+        assert uid(updated.ddg, "E") in updated.removed
+
+    def test_sd_gains_cluster_2_destination(self, updated):
+        """The copy of E in cluster 2 is a new child of D."""
+        sub = find_replication_subgraph(updated, uid(updated.ddg, "D"))
+        assert sub.destinations == {1, 3}
+
+    def test_sd_needed_drops_a(self, updated):
+        sub = find_replication_subgraph(updated, uid(updated.ddg, "D"))
+        assert names(updated.ddg, sub.needed) == {"D", "B", "C"}
+
+    def test_sj_absorbs_e_and_a(self, updated):
+        sub = find_replication_subgraph(updated, uid(updated.ddg, "J"))
+        assert names(updated.ddg, sub.members) == {"J", "I", "E", "A"}
+
+    def test_sj_needs_e_a_only_in_cluster_1(self, updated):
+        ddg = updated.ddg
+        sub = find_replication_subgraph(updated, uid(ddg, "J"))
+        assert sub.needed[uid(ddg, "E")] == {0}
+        assert sub.needed[uid(ddg, "A")] == {0}
+        assert sub.needed[uid(ddg, "J")] == {0, 3}
+        assert sub.needed[uid(ddg, "I")] == {0, 3}
+
+    def test_sj_weight_matches_figure6(self, updated):
+        subs = [
+            find_replication_subgraph(updated, comm)
+            for comm in updated.active_comms()
+        ]
+        sharing = sharing_table(subs)
+        sj = next(s for s in subs if updated.ddg.node(s.comm).name == "J")
+        weight = subgraph_weight(
+            updated, sj, find_removable_instructions(updated, sj), sharing
+        )
+        assert weight == Fraction(42, 8)
+
+    def test_sd_removable_cascades_to_a(self, updated):
+        """With E's comm gone, removing D frees B, C and finally A."""
+        sd = find_replication_subgraph(updated, uid(updated.ddg, "D"))
+        removable = find_removable_instructions(updated, sd)
+        assert names(updated.ddg, removable) == {"D", "B", "C", "A"}
+
+    def test_extra_coms_now_zero(self, updated):
+        assert updated.extra_coms() == 0
+
+
+class TestFullReplicationRun:
+    def test_replicate_stops_after_one_removal(
+        self, figure3_partitioned, example_machine
+    ):
+        """extra_coms = 1, so exactly one communication is removed."""
+        plan = replicate(figure3_partitioned, example_machine, ii=2)
+        assert plan.feasible
+        assert plan.n_removed_comms == 1
+        ddg = figure3_partitioned.ddg
+        (removed,) = plan.removed_comms
+        assert ddg.node(removed).name == "E"
+
+    def test_no_over_replication(self, figure3_partitioned, example_machine):
+        plan = replicate(figure3_partitioned, example_machine, ii=2)
+        # Only S_E's four instances (E and A in clusters 2 and 4).
+        assert plan.n_replicated_instructions == 4

@@ -1,0 +1,114 @@
+"""Removable instructions (Figure 5) on constructed cases."""
+
+import pytest
+
+from repro.core.removable import find_removable_instructions
+from repro.core.state import ReplicationState
+from repro.core.subgraph import find_replication_subgraph
+from repro.ddg.builder import DdgBuilder
+from repro.machine.config import parse_config
+from repro.partition.partition import Partition
+
+
+@pytest.fixture
+def m2():
+    return parse_config("2c1b2l64r")
+
+
+def state_for(ddg, mapping, machine, ii=4):
+    part = Partition(
+        ddg, {ddg.node_by_name(k).uid: v for k, v in mapping.items()},
+        machine.n_clusters,
+    )
+    return ReplicationState(part, machine, ii)
+
+
+def removable_names(state, comm_name):
+    comm = state.ddg.node_by_name(comm_name).uid
+    sub = find_replication_subgraph(state, comm)
+    return {
+        state.ddg.node(u).name
+        for u in find_removable_instructions(state, sub)
+    }
+
+
+class TestRemovable:
+    def test_producer_with_only_foreign_consumers_removed(self, m2):
+        b = DdgBuilder()
+        b.int_op("p").fp_op("far")
+        b.dep("p", "far")
+        g = b.build()
+        state = state_for(g, {"p": 0, "far": 1}, m2)
+        assert removable_names(state, "p") == {"p"}
+
+    def test_local_child_keeps_producer(self, m2):
+        b = DdgBuilder()
+        b.int_op("p").fp_op("local").fp_op("far")
+        b.dep("p", "local").dep("p", "far")
+        g = b.build()
+        state = state_for(g, {"p": 0, "local": 0, "far": 1}, m2)
+        assert removable_names(state, "p") == set()
+
+    def test_cascade_through_parents(self, m2):
+        b = DdgBuilder()
+        b.int_op("g").int_op("p").fp_op("far")
+        b.chain("g", "p")
+        b.dep("p", "far")
+        g = b.build()
+        state = state_for(g, {"g": 0, "p": 0, "far": 1}, m2)
+        assert removable_names(state, "p") == {"p", "g"}
+
+    def test_cascade_blocked_by_other_local_child(self, m2):
+        b = DdgBuilder()
+        b.int_op("g").int_op("p").int_op("other").fp_op("far")
+        b.chain("g", "p")
+        b.dep("g", "other")
+        b.dep("p", "far")
+        g = b.build()
+        state = state_for(g, {"g": 0, "p": 0, "other": 0, "far": 1}, m2)
+        assert removable_names(state, "p") == {"p"}
+
+    def test_parent_with_own_communication_kept(self, m2):
+        """A parent whose value still crosses clusters must stay."""
+        b = DdgBuilder()
+        b.int_op("g").int_op("p").fp_op("far_p").fp_op("far_g")
+        b.chain("g", "p")
+        b.dep("p", "far_p").dep("g", "far_g")
+        g = b.build()
+        state = state_for(g, {"g": 0, "p": 0, "far_p": 1, "far_g": 1}, m2)
+        assert removable_names(state, "p") == {"p"}
+
+    def test_stores_never_removed(self, m2):
+        """A store has a side effect even without register children."""
+        b = DdgBuilder()
+        b.int_op("p").store("st").fp_op("far")
+        b.dep("p", "st")
+        b.dep("p", "far")
+        g = b.build()
+        state = state_for(g, {"p": 0, "st": 1, "far": 1}, m2)
+        # p has no local child, but removal must not cascade into stores.
+        names = removable_names(state, "p")
+        assert "st" not in names
+
+    def test_parents_in_other_clusters_not_candidates(self, m2):
+        b = DdgBuilder()
+        b.int_op("g").int_op("p").fp_op("far")
+        b.chain("g", "p")
+        b.dep("p", "far")
+        g = b.build()
+        # g lives in cluster 1 (feeding p across clusters).
+        state = state_for(g, {"g": 1, "p": 0, "far": 1}, m2)
+        assert removable_names(state, "p") == {"p"}
+
+    def test_replica_child_keeps_producer_alive(self, m2):
+        """A replica of a consumer in the home cluster counts as a child."""
+        b = DdgBuilder()
+        b.int_op("p").fp_op("c").fp_op("sink")
+        b.dep("p", "c").dep("c", "sink")
+        g = b.build()
+        state = state_for(g, {"p": 0, "c": 1, "sink": 0}, m2)
+        # Manually replicate c back into cluster 0.
+        state.replicas[g.node_by_name("c").uid] = {0}
+        sub = find_replication_subgraph(state, g.node_by_name("p").uid)
+        removable = find_removable_instructions(state, sub)
+        assert g.node_by_name("p").uid not in removable

@@ -1,0 +1,106 @@
+"""Replication subgraphs (Figure 4) on constructed cases."""
+
+import pytest
+
+from repro.core.state import ReplicationState
+from repro.core.subgraph import find_replication_subgraph, fits_resources
+from repro.ddg.builder import DdgBuilder
+from repro.machine.config import parse_config
+from repro.partition.partition import Partition
+
+
+@pytest.fixture
+def m2():
+    return parse_config("2c1b2l64r")
+
+
+def state_for(ddg, mapping, machine, ii):
+    part = Partition(
+        ddg, {ddg.node_by_name(k).uid: v for k, v in mapping.items()},
+        machine.n_clusters,
+    )
+    return ReplicationState(part, machine, ii)
+
+
+def names(state, uids):
+    return {state.ddg.node(u).name for u in uids}
+
+
+class TestSubgraphDiscovery:
+    def test_chain_of_parents_included(self, m2):
+        b = DdgBuilder()
+        b.int_op("g").int_op("p").int_op("x").fp_op("far")
+        b.chain("g", "p", "x")
+        b.dep("x", "far")
+        g = b.build()
+        state = state_for(g, {"g": 0, "p": 0, "x": 0, "far": 1}, m2, ii=4)
+        sub = find_replication_subgraph(state, g.node_by_name("x").uid)
+        assert names(state, sub.members) == {"x", "p", "g"}
+
+    def test_walk_stops_at_communicated_parent(self, m2):
+        b = DdgBuilder()
+        b.int_op("g").int_op("x").fp_op("far").fp_op("far2")
+        b.dep("g", "x").dep("x", "far").dep("g", "far2")
+        g = b.build()
+        state = state_for(g, {"g": 0, "x": 0, "far": 1, "far2": 1}, m2, ii=4)
+        sub = find_replication_subgraph(state, g.node_by_name("x").uid)
+        # g communicates (to far2), so x's subgraph stops at it.
+        assert names(state, sub.members) == {"x"}
+
+    def test_load_parents_replicable(self, m2):
+        """Loads replicate; their memory parents stay behind (shared cache)."""
+        b = DdgBuilder()
+        b.store("st").load("ld").fp_op("use").fp_op("far")
+        b.mem_dep("st", "ld")
+        b.dep("ld", "use").dep("use", "far")
+        g = b.build()
+        state = state_for(g, {"st": 0, "ld": 0, "use": 0, "far": 1}, m2, ii=4)
+        sub = find_replication_subgraph(state, g.node_by_name("use").uid)
+        assert names(state, sub.members) == {"use", "ld"}
+
+    def test_destinations_follow_consumers(self, m2):
+        b = DdgBuilder()
+        b.int_op("p").fp_op("local").fp_op("far")
+        b.dep("p", "local").dep("p", "far")
+        g = b.build()
+        state = state_for(g, {"p": 0, "local": 0, "far": 1}, m2, ii=4)
+        sub = find_replication_subgraph(state, g.node_by_name("p").uid)
+        assert sub.destinations == {1}
+        assert sub.needed[g.node_by_name("p").uid] == {1}
+
+    def test_n_new_instances(self, m2):
+        b = DdgBuilder()
+        b.int_op("g").int_op("x").fp_op("far")
+        b.chain("g", "x")
+        b.dep("x", "far")
+        g = b.build()
+        state = state_for(g, {"g": 0, "x": 0, "far": 1}, m2, ii=4)
+        sub = find_replication_subgraph(state, g.node_by_name("x").uid)
+        assert sub.n_new_instances == 2
+
+
+class TestResourceFeasibility:
+    def test_full_cluster_blocks_replication(self):
+        m = parse_config("4c1b2l64r")  # 1 INT unit per cluster
+        b = DdgBuilder()
+        b.int_op("p")
+        # Fill cluster 1 with 2 INT ops (capacity = 1 unit * II 2).
+        b.int_op("f0").int_op("f1")
+        b.fp_op("consumer")
+        b.dep("p", "consumer")
+        g = b.build()
+        state = state_for(
+            g, {"p": 0, "f0": 1, "f1": 1, "consumer": 1}, m, ii=2
+        )
+        sub = find_replication_subgraph(state, g.node_by_name("p").uid)
+        assert not fits_resources(sub, state)
+
+    def test_free_cluster_allows_replication(self):
+        m = parse_config("4c1b2l64r")
+        b = DdgBuilder()
+        b.int_op("p").fp_op("consumer")
+        b.dep("p", "consumer")
+        g = b.build()
+        state = state_for(g, {"p": 0, "consumer": 1}, m, ii=2)
+        sub = find_replication_subgraph(state, g.node_by_name("p").uid)
+        assert fits_resources(sub, state)

@@ -1,0 +1,137 @@
+"""Unit behaviour of the weight heuristic beyond the paper example."""
+
+import pytest
+from fractions import Fraction
+
+from repro.core.state import ReplicationState
+from repro.core.subgraph import find_replication_subgraph
+from repro.core.weights import (
+    node_weight,
+    removal_benefit,
+    sharing_table,
+    subgraph_weight,
+)
+from repro.ddg.builder import DdgBuilder
+from repro.machine.config import parse_config
+from repro.partition.partition import Partition
+
+
+@pytest.fixture
+def m2():
+    return parse_config("2c1b2l64r")  # 2 units of each kind per cluster
+
+
+def state_for(ddg, mapping, machine, ii):
+    part = Partition(
+        ddg, {ddg.node_by_name(k).uid: v for k, v in mapping.items()},
+        machine.n_clusters,
+    )
+    return ReplicationState(part, machine, ii)
+
+
+@pytest.fixture
+def single_comm(m2):
+    b = DdgBuilder()
+    b.int_op("p").fp_op("c").fp_op("keep")
+    b.dep("p", "c").dep("p", "keep")
+    g = b.build()
+    return g, state_for(g, {"p": 0, "c": 1, "keep": 0}, m2, ii=2)
+
+
+class TestNodeWeight:
+    def test_formula(self, single_comm):
+        g, state = single_comm
+        p = g.node_by_name("p").uid
+        sub = find_replication_subgraph(state, p)
+        sharing = sharing_table([sub])
+        # cluster 1: zero INT usage, one extra INT op; 2 units * II 2.
+        w = node_weight(state, p, 1, sub.extra_ops(state), sharing)
+        assert w == Fraction(0 + 1, 2 * 2)
+
+    def test_sharing_halves_weight(self, m2):
+        b = DdgBuilder()
+        b.int_op("shared")
+        b.int_op("p0").int_op("p1")
+        b.dep("shared", "p0").dep("shared", "p1")
+        b.fp_op("c0").fp_op("c1")
+        b.dep("p0", "c0").dep("p1", "c1")
+        g = b.build()
+        state = state_for(
+            g, {"shared": 0, "p0": 0, "p1": 0, "c0": 1, "c1": 1}, m2, ii=2
+        )
+        subs = [
+            find_replication_subgraph(state, g.node_by_name(n).uid)
+            for n in ("p0", "p1")
+        ]
+        sharing = sharing_table(subs)
+        shared_uid = g.node_by_name("shared").uid
+        assert sharing[(shared_uid, 1)] == 2
+        solo = sharing_table([subs[0]])
+        w_shared = node_weight(state, shared_uid, 1, subs[0].extra_ops(state), sharing)
+        w_solo = node_weight(state, shared_uid, 1, subs[0].extra_ops(state), solo)
+        assert w_shared == w_solo / 2
+
+    def test_usage_reflects_prior_replicas(self, single_comm):
+        g, state = single_comm
+        p = g.node_by_name("p").uid
+        state.replicas[g.node_by_name("keep").uid] = {1}
+        # 'keep' is FP so INT usage in cluster 1 is still 0 ...
+        sub = find_replication_subgraph(state, p)
+        w = node_weight(state, p, 1, sub.extra_ops(state), sharing_table([sub]))
+        assert w == Fraction(1, 4)
+
+
+class TestRemovalBenefit:
+    def test_single_removal(self, m2):
+        b = DdgBuilder()
+        b.int_op("p").int_op("pad").fp_op("c")
+        b.dep("p", "c")
+        g = b.build()
+        state = state_for(g, {"p": 0, "pad": 0, "c": 1}, m2, ii=2)
+        p = g.node_by_name("p").uid
+        # usage(INT, c0) = 2; removing p leaves 1 -> benefit 1/4.
+        assert removal_benefit(state, [p]) == Fraction(2 - 1, 4)
+
+    def test_sequential_removals_discount(self, m2):
+        b = DdgBuilder()
+        b.int_op("g").int_op("p").fp_op("c")
+        b.chain("g", "p")
+        b.dep("p", "c")
+        g = b.build()
+        state = state_for(g, {"g": 0, "p": 0, "c": 1}, m2, ii=2)
+        uids = [g.node_by_name("p").uid, g.node_by_name("g").uid]
+        # usage 2: benefits (2-1)/4 + (2-2)/4.
+        assert removal_benefit(state, uids) == Fraction(1, 4)
+
+    def test_empty_removal_zero(self, single_comm):
+        _, state = single_comm
+        assert removal_benefit(state, []) == 0
+
+
+class TestSubgraphWeight:
+    def test_total_is_cost_minus_benefit(self, single_comm):
+        g, state = single_comm
+        p = g.node_by_name("p").uid
+        sub = find_replication_subgraph(state, p)
+        sharing = sharing_table([sub])
+        with_removal = subgraph_weight(state, sub, [], sharing)
+        # p stays alive through 'keep', so no removal; weight is the
+        # plain replication cost.
+        assert with_removal == Fraction(1, 4)
+
+    def test_weight_can_go_negative_with_removals(self, m2):
+        """A replication that frees a loaded cluster can be net-negative."""
+        b = DdgBuilder()
+        b.int_op("p")
+        for i in range(3):
+            b.int_op(f"pad{i}")
+        b.fp_op("c")
+        b.dep("p", "c")
+        g = b.build()
+        mapping = {"p": 0, "c": 1, "pad0": 0, "pad1": 0, "pad2": 0}
+        state = state_for(g, mapping, m2, ii=2)
+        p = g.node_by_name("p").uid
+        sub = find_replication_subgraph(state, p)
+        weight = subgraph_weight(state, sub, [p], sharing_table([sub]))
+        # cost (0+1)/4, benefit (4-1)/4 -> negative.
+        assert weight == Fraction(1, 4) - Fraction(3, 4)

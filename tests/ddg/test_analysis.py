@@ -1,0 +1,177 @@
+"""MII bounds, SCCs and ASAP/ALAP analysis."""
+
+import pytest
+
+from repro.ddg.analysis import (
+    analyze,
+    mii,
+    rec_mii,
+    recurrence_components,
+    res_mii,
+    strongly_connected_components,
+)
+from repro.ddg.builder import DdgBuilder
+from repro.ddg.graph import DdgError
+from repro.machine.config import parse_config, unified_machine
+
+
+@pytest.fixture
+def m4():
+    return parse_config("4c1b2l64r")
+
+
+def chain(n, op="fp_op"):
+    b = DdgBuilder("chain")
+    for i in range(n):
+        getattr(b, op)(f"n{i}")
+    b.chain(*[f"n{i}" for i in range(n)])
+    return b.build()
+
+
+class TestResMii:
+    def test_fp_bound(self, m4):
+        # 9 FP ops on 4 machine-wide FP units -> ceil(9/4) = 3.
+        g = chain(9)
+        assert res_mii(g, m4) == 3
+
+    def test_mixed_kinds_take_max(self, m4):
+        b = DdgBuilder()
+        for i in range(8):
+            b.load(f"ld{i}")
+        b.int_op("i")
+        g = b.build()
+        assert res_mii(g, m4) == 2  # 8 loads / 4 mem ports
+
+    def test_minimum_is_one(self, m4):
+        assert res_mii(chain(1), m4) == 1
+
+    def test_unified_machine_same_totals(self):
+        g = chain(9)
+        assert res_mii(g, unified_machine()) == 3
+
+
+class TestRecMii:
+    def test_acyclic_graph_gives_one(self):
+        assert rec_mii(chain(5)) == 1
+
+    def test_self_recurrence(self):
+        b = DdgBuilder()
+        b.fp_op("acc")
+        b.dep("acc", "acc", distance=1)
+        # latency 3 over distance 1 -> RecMII 3.
+        assert rec_mii(b.build()) == 3
+
+    def test_two_node_cycle(self):
+        b = DdgBuilder()
+        b.fp_op("a").fp_op("b")
+        b.dep("a", "b")
+        b.dep("b", "a", distance=1)
+        # total latency 6 over distance 1 -> 6.
+        assert rec_mii(b.build()) == 6
+
+    def test_distance_divides_requirement(self):
+        b = DdgBuilder()
+        b.fp_op("a").fp_op("b")
+        b.dep("a", "b")
+        b.dep("b", "a", distance=3)
+        # total latency 6 over distance 3 -> ceil(6/3) = 2.
+        assert rec_mii(b.build()) == 2
+
+    def test_tightest_cycle_wins(self):
+        b = DdgBuilder()
+        b.fp_op("a").fp_op("b").int_op("c")
+        b.dep("a", "b").dep("b", "a", distance=6)  # 6/6 = 1
+        b.dep("c", "c", distance=1)  # 1/1 = 1
+        b.dep("a", "c")
+        g = b.build()
+        assert rec_mii(g) == 1
+
+    def test_mii_is_max_of_bounds(self, m4):
+        b = DdgBuilder()
+        for i in range(9):
+            b.fp_op(f"f{i}")
+        b.fp_op("acc")
+        b.dep("acc", "acc", distance=1)
+        g = b.build()
+        assert mii(g, m4) == max(res_mii(g, m4), rec_mii(g))
+        assert rec_mii(g) == 3
+        assert res_mii(g, m4) == 3
+
+
+class TestScc:
+    def test_acyclic_all_singletons(self):
+        g = chain(4)
+        comps = strongly_connected_components(g)
+        assert len(comps) == 4
+        assert all(len(c) == 1 for c in comps)
+
+    def test_cycle_grouped(self):
+        b = DdgBuilder()
+        b.int_op("a").int_op("b").int_op("c")
+        b.dep("a", "b").dep("b", "a", distance=1).dep("b", "c")
+        comps = strongly_connected_components(b.build())
+        sizes = sorted(len(c) for c in comps)
+        assert sizes == [1, 2]
+
+    def test_recurrence_components_skip_trivial(self):
+        b = DdgBuilder()
+        b.int_op("a").int_op("b")
+        b.dep("a", "b")
+        b.dep("b", "b", distance=1)
+        recs = recurrence_components(b.build())
+        assert len(recs) == 1
+        (comp,) = recs
+        assert len(comp) == 1  # the self loop
+
+
+class TestAnalyze:
+    def test_chain_times(self):
+        g = chain(3)  # fp latency 3 each
+        a = analyze(g, ii=1)
+        uids = list(g.node_ids())
+        assert [a.asap[u] for u in uids] == [0, 3, 6]
+        assert a.length == 9
+        assert all(a.slack(u) == 0 for u in uids)
+
+    def test_slack_of_off_path_node(self):
+        b = DdgBuilder()
+        b.fp_op("a").fp_op("b").fp_op("c").int_op("x")
+        b.chain("a", "b", "c")
+        b.dep("a", "x").dep("x", "c")
+        g = b.build()
+        a = analyze(g, ii=1)
+        x = g.node_by_name("x").uid
+        # Critical path a-b-c is 9; x path is 1+3 shorter by 2.
+        assert a.slack(x) == 2
+
+    def test_loop_carried_edges_relax_with_ii(self):
+        b = DdgBuilder()
+        b.fp_op("a").fp_op("b")
+        b.dep("a", "b")
+        b.dep("b", "a", distance=1)
+        g = b.build()
+        low = analyze(g, ii=6)
+        assert low.asap[g.node_by_name("a").uid] == 0
+
+    def test_analyze_below_recmii_raises(self):
+        b = DdgBuilder()
+        b.fp_op("a").fp_op("b")
+        b.dep("a", "b").dep("b", "a", distance=1)
+        with pytest.raises(DdgError):
+            analyze(b.build(), ii=3)
+
+    def test_edge_slack_accounts_for_distance(self):
+        b = DdgBuilder()
+        b.fp_op("a").fp_op("b")
+        b.dep("a", "b", distance=2)
+        g = b.build()
+        a = analyze(g, ii=4)
+        (edge,) = g.edges()
+        # b can start at 0; slack includes distance * II.
+        assert a.edge_slack(edge, 3) == a.alap[edge.dst] - a.asap[edge.src] - 3 + 8
+
+    def test_empty_graph(self):
+        from repro.ddg.graph import Ddg
+
+        a = analyze(Ddg(), ii=1)
+        assert a.length == 0

@@ -1,0 +1,49 @@
+"""The fluent DDG builder."""
+
+import pytest
+
+from repro.ddg.builder import DdgBuilder
+from repro.ddg.graph import DdgError, EdgeKind
+from repro.machine.resources import OpClass
+
+
+class TestBuilder:
+    def test_all_node_kinds(self):
+        b = DdgBuilder("kinds")
+        b.int_op("i").fp_op("f").fp_mul("m").load("l").store("s")
+        b.op("d", OpClass.FP_DIV)
+        g = b.build()
+        assert len(g) == 6
+        assert g.node_by_name("m").op_class is OpClass.FP_MUL
+        assert g.node_by_name("d").op_class is OpClass.FP_DIV
+
+    def test_duplicate_labels_rejected(self):
+        b = DdgBuilder()
+        b.int_op("x")
+        with pytest.raises(DdgError):
+            b.int_op("x")
+
+    def test_chain_builds_consecutive_deps(self):
+        b = DdgBuilder()
+        b.int_op("a").int_op("b").int_op("c")
+        b.chain("a", "b", "c")
+        g = b.build()
+        assert g.children(g.node_by_name("a")) == [g.node_by_name("b")]
+        assert g.children(g.node_by_name("b")) == [g.node_by_name("c")]
+
+    def test_mem_dep_kind(self):
+        b = DdgBuilder()
+        b.store("st").load("ld")
+        b.mem_dep("st", "ld", distance=1)
+        g = b.build()
+        (edge,) = g.edges()
+        assert edge.kind is EdgeKind.MEMORY
+        assert edge.distance == 1
+
+    def test_node_lookup(self):
+        b = DdgBuilder()
+        b.fp_op("v")
+        assert b.node("v").name == "v"
+
+    def test_builder_name_propagates(self):
+        assert DdgBuilder("myloop").build().name == "myloop"

@@ -1,0 +1,49 @@
+"""Graphviz DOT export."""
+
+from repro.core.plan import EMPTY_PLAN
+from repro.ddg.dot import ddg_to_dot, partition_to_dot, placed_to_dot
+from repro.machine.config import parse_config
+from repro.partition.multilevel import initial_partition
+from repro.schedule.placed import build_placed_graph
+from repro.workloads.patterns import daxpy, dot_product
+
+
+class TestDot:
+    def test_ddg_dot_mentions_every_node(self):
+        g = daxpy()
+        text = ddg_to_dot(g)
+        assert text.startswith("digraph")
+        assert text.rstrip().endswith("}")
+        for node in g.nodes():
+            assert node.name in text
+
+    def test_loop_carried_edges_dashed(self):
+        text = ddg_to_dot(dot_product())
+        assert "style=dashed" in text
+        assert 'label="1"' in text
+
+    def test_partition_dot_draws_cluster_boxes(self):
+        g = daxpy()
+        m = parse_config("2c1b2l64r")
+        part = initial_partition(g, m, 4)
+        text = partition_to_dot(part)
+        assert "subgraph cluster_0" in text
+        assert "subgraph cluster_1" in text
+
+    def test_crossing_edges_highlighted(self):
+        g = daxpy()
+        m = parse_config("2c1b2l64r")
+        part = initial_partition(g, m, 4)
+        text = partition_to_dot(part)
+        if part.nof_coms():
+            assert "color=red" in text
+
+    def test_placed_dot_shows_copies(self):
+        g = daxpy()
+        m = parse_config("2c1b2l64r")
+        part = initial_partition(g, m, 4)
+        placed = build_placed_graph(g, part, m, EMPTY_PLAN)
+        text = placed_to_dot(placed)
+        if placed.n_comms():
+            assert "shape=ellipse" in text
+            assert "copy(" in text

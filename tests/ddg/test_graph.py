@@ -1,0 +1,153 @@
+"""DDG structure: nodes, typed edges, distances, traversal."""
+
+import pytest
+
+from repro.ddg.graph import Ddg, DdgError, EdgeKind
+from repro.machine.resources import FuKind, OpClass
+
+
+@pytest.fixture
+def triangle():
+    """a -> b -> c plus a -> c."""
+    g = Ddg("triangle")
+    a = g.add_node("a", OpClass.INT_ARITH)
+    b = g.add_node("b", OpClass.FP_ARITH)
+    c = g.add_node("c", OpClass.FP_MUL)
+    g.add_edge(a, b)
+    g.add_edge(b, c)
+    g.add_edge(a, c)
+    return g, a, b, c
+
+
+class TestNodes:
+    def test_node_properties(self, triangle):
+        g, a, b, c = triangle
+        assert a.latency == 1 and a.fu_kind is FuKind.INT
+        assert b.latency == 3 and b.fu_kind is FuKind.FP
+        assert not a.is_store
+
+    def test_store_flag(self):
+        g = Ddg()
+        st = g.add_node("st", OpClass.STORE)
+        assert st.is_store
+
+    def test_uids_unique_and_stable(self, triangle):
+        g, a, b, c = triangle
+        assert len({a.uid, b.uid, c.uid}) == 3
+        assert g.node(b.uid) is b
+
+    def test_copy_nodes_rejected(self):
+        g = Ddg()
+        with pytest.raises(DdgError):
+            g.add_node("cp", OpClass.COPY)
+
+    def test_node_by_name(self, triangle):
+        g, a, _, _ = triangle
+        assert g.node_by_name("a") is a
+        with pytest.raises(DdgError):
+            g.node_by_name("zzz")
+
+
+class TestEdges:
+    def test_children_and_parents(self, triangle):
+        g, a, b, c = triangle
+        assert set(g.children(a)) == {b, c}
+        assert set(g.parents(c)) == {a, b}
+
+    def test_edge_count(self, triangle):
+        g, *_ = triangle
+        assert g.n_edges() == 3
+
+    def test_duplicate_edge_keeps_min_distance(self):
+        g = Ddg()
+        a = g.add_node("a", OpClass.INT_ARITH)
+        b = g.add_node("b", OpClass.INT_ARITH)
+        g.add_edge(a, b, distance=3)
+        g.add_edge(a, b, distance=1)
+        (edge,) = g.out_edges(a)
+        assert edge.distance == 1
+        g.add_edge(a, b, distance=5)
+        (edge,) = g.out_edges(a)
+        assert edge.distance == 1
+
+    def test_loop_carried_self_edge_allowed(self):
+        g = Ddg()
+        a = g.add_node("acc", OpClass.FP_ARITH)
+        edge = g.add_edge(a, a, distance=1)
+        assert edge.is_loop_carried
+
+    def test_zero_distance_self_edge_rejected(self):
+        g = Ddg()
+        a = g.add_node("a", OpClass.INT_ARITH)
+        with pytest.raises(DdgError):
+            g.add_edge(a, a, distance=0)
+
+    def test_negative_distance_rejected(self):
+        g = Ddg()
+        a = g.add_node("a", OpClass.INT_ARITH)
+        b = g.add_node("b", OpClass.INT_ARITH)
+        with pytest.raises(DdgError):
+            g.add_edge(a, b, distance=-1)
+
+    def test_store_register_successor_rejected(self):
+        """Stores produce no register value (enforces section 3.1)."""
+        g = Ddg()
+        st = g.add_node("st", OpClass.STORE)
+        ld = g.add_node("ld", OpClass.LOAD)
+        with pytest.raises(DdgError):
+            g.add_edge(st, ld, kind=EdgeKind.REGISTER)
+        g.add_edge(st, ld, kind=EdgeKind.MEMORY)  # fine through the cache
+
+    def test_register_and_memory_edges_coexist(self):
+        g = Ddg()
+        a = g.add_node("a", OpClass.LOAD)
+        b = g.add_node("b", OpClass.LOAD)
+        g.add_edge(a, b, kind=EdgeKind.REGISTER)
+        g.add_edge(a, b, kind=EdgeKind.MEMORY)
+        assert g.n_edges() == 2
+        assert g.children(a, EdgeKind.REGISTER) == [b]
+        assert g.children(a, EdgeKind.MEMORY) == [b]
+
+    def test_edges_to_unknown_nodes_rejected(self):
+        g = Ddg()
+        a = g.add_node("a", OpClass.INT_ARITH)
+        with pytest.raises(DdgError):
+            g.add_edge(a.uid, 999)
+
+
+class TestRemoval:
+    def test_remove_node_cleans_edges(self, triangle):
+        g, a, b, c = triangle
+        g.remove_node(b)
+        assert b not in g
+        assert set(g.children(a)) == {c}
+        assert g.parents(c) == [a]
+        assert g.n_edges() == 1
+
+    def test_remove_unknown_rejected(self, triangle):
+        g, *_ = triangle
+        with pytest.raises(DdgError):
+            g.remove_node(12345)
+
+
+class TestQueries:
+    def test_op_counts(self, triangle):
+        g, *_ = triangle
+        counts = g.op_counts()
+        assert counts[FuKind.INT] == 1
+        assert counts[FuKind.FP] == 2
+        assert counts[FuKind.MEM] == 0
+
+    def test_copy_is_independent(self, triangle):
+        g, a, b, c = triangle
+        clone = g.copy()
+        clone.remove_node(b)
+        assert b in g
+        assert g.n_edges() == 3
+        assert clone.n_edges() == 1
+
+    def test_len_and_contains(self, triangle):
+        g, a, *_ = triangle
+        assert len(g) == 3
+        assert a in g
+        assert a.uid in g

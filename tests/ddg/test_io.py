@@ -1,0 +1,88 @@
+"""DDG JSON serialization."""
+
+import pytest
+
+from repro.ddg import io as ddg_io
+from repro.ddg.graph import Ddg, DdgError, EdgeKind
+from repro.machine.resources import OpClass
+from repro.workloads.patterns import daxpy, dot_product, stencil5
+
+
+def graphs_equal(a, b):
+    if len(a) != len(b) or a.name != b.name:
+        return False
+    nodes_a = {(n.name, n.op_class) for n in a.nodes()}
+    nodes_b = {(n.name, n.op_class) for n in b.nodes()}
+    if nodes_a != nodes_b:
+        return False
+
+    def edge_set(g):
+        return {
+            (g.node(e.src).name, g.node(e.dst).name, e.distance, e.kind)
+            for e in g.edges()
+        }
+
+    return edge_set(a) == edge_set(b)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("make", [daxpy, stencil5, dot_product])
+    def test_patterns_round_trip(self, make):
+        g = make()
+        assert graphs_equal(g, ddg_io.loads(ddg_io.dumps(g)))
+
+    def test_loop_carried_and_memory_edges_survive(self):
+        g = Ddg("mixed")
+        st = g.add_node("st", OpClass.STORE)
+        ld = g.add_node("ld", OpClass.LOAD)
+        acc = g.add_node("acc", OpClass.FP_ARITH)
+        g.add_edge(st, ld, distance=2, kind=EdgeKind.MEMORY)
+        g.add_edge(ld, acc)
+        g.add_edge(acc, acc, distance=1)
+        restored = ddg_io.loads(ddg_io.dumps(g))
+        assert graphs_equal(g, restored)
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "loop.json"
+        ddg_io.save(daxpy(), str(path))
+        assert graphs_equal(daxpy(), ddg_io.load(str(path)))
+
+
+class TestValidation:
+    def test_duplicate_names_rejected_on_dump(self):
+        g = Ddg()
+        g.add_node("x", OpClass.INT_ARITH)
+        g.add_node("x", OpClass.INT_ARITH)
+        with pytest.raises(DdgError):
+            ddg_io.dumps(g)
+
+    def test_duplicate_names_rejected_on_load(self):
+        data = {
+            "name": "bad",
+            "nodes": [
+                {"name": "x", "op": "int_arith"},
+                {"name": "x", "op": "int_arith"},
+            ],
+            "edges": [],
+        }
+        with pytest.raises(DdgError):
+            ddg_io.from_dict(data)
+
+    def test_unknown_op_rejected(self):
+        data = {"name": "bad", "nodes": [{"name": "x", "op": "teleport"}]}
+        with pytest.raises(ValueError):
+            ddg_io.from_dict(data)
+
+    def test_defaults(self):
+        data = {
+            "nodes": [
+                {"name": "a", "op": "int_arith"},
+                {"name": "b", "op": "fp_arith"},
+            ],
+            "edges": [{"src": "a", "dst": "b"}],
+        }
+        g = ddg_io.from_dict(data)
+        (edge,) = g.edges()
+        assert edge.distance == 0
+        assert edge.kind is EdgeKind.REGISTER
+        assert g.name == "loop"

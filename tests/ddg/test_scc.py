@@ -1,0 +1,45 @@
+"""Generic Tarjan SCC helper."""
+
+from repro.ddg.analysis import tarjan_scc
+
+
+def components(nodes, edges):
+    succ = {n: [] for n in nodes}
+    for a, b in edges:
+        succ[a].append(b)
+    return tarjan_scc(nodes, lambda n: succ[n])
+
+
+class TestTarjan:
+    def test_empty(self):
+        assert components([], []) == []
+
+    def test_singletons(self):
+        comps = components([1, 2, 3], [(1, 2), (2, 3)])
+        assert sorted(map(sorted, comps)) == [[1], [2], [3]]
+
+    def test_simple_cycle(self):
+        comps = components([1, 2, 3], [(1, 2), (2, 3), (3, 1)])
+        assert sorted(map(sorted, comps)) == [[1, 2, 3]]
+
+    def test_two_cycles_bridged(self):
+        edges = [(1, 2), (2, 1), (2, 3), (3, 4), (4, 3)]
+        comps = components([1, 2, 3, 4], edges)
+        assert sorted(map(sorted, comps)) == [[1, 2], [3, 4]]
+
+    def test_self_loop_is_singleton_component(self):
+        comps = components([1, 2], [(1, 1), (1, 2)])
+        assert sorted(map(sorted, comps)) == [[1], [2]]
+
+    def test_reverse_topological_emission(self):
+        """Tarjan emits callees before callers (sinks first)."""
+        comps = components([1, 2, 3], [(1, 2), (2, 3)])
+        order = [next(iter(c)) for c in comps]
+        assert order.index(3) < order.index(1)
+
+    def test_deep_chain_no_recursion_limit(self):
+        n = 5000
+        nodes = list(range(n))
+        edges = [(i, i + 1) for i in range(n - 1)]
+        comps = components(nodes, edges)
+        assert len(comps) == n

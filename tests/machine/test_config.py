@@ -1,0 +1,131 @@
+"""Machine configurations and the wcxbylzr naming scheme."""
+
+import pytest
+
+from repro.machine.config import (
+    BusConfig,
+    ClusterConfig,
+    ConfigError,
+    MachineConfig,
+    PAPER_CONFIG_NAMES,
+    parse_config,
+    unified_machine,
+)
+from repro.machine.resources import FuKind, OpClass
+
+
+class TestParseConfig:
+    def test_4c2b4l64r(self):
+        m = parse_config("4c2b4l64r")
+        assert m.n_clusters == 4
+        assert m.bus.count == 2
+        assert m.bus.latency == 4
+        assert m.registers(0) == 64
+        assert m.name == "4c2b4l64r"
+
+    def test_2_cluster_split(self):
+        m = parse_config("2c1b2l64r")
+        for kind in FuKind:
+            assert m.fu_count(0, kind) == 2
+        assert m.issue_width == 12
+
+    def test_4_cluster_split(self):
+        m = parse_config("4c1b2l64r")
+        for cluster in m.cluster_ids():
+            for kind in FuKind:
+                assert m.fu_count(cluster, kind) == 1
+        assert m.issue_width == 12
+
+    def test_register_field_optional(self):
+        m = parse_config("4c1b2l")
+        assert m.registers(0) == 64
+
+    def test_register_sweep_values(self):
+        assert parse_config("4c1b2l32r").registers(0) == 32
+        assert parse_config("4c1b2l128r").registers(0) == 128
+
+    def test_all_paper_configs_parse(self):
+        for name in PAPER_CONFIG_NAMES:
+            m = parse_config(name)
+            assert m.name == name
+            assert m.issue_width == 12
+
+    def test_uneven_split_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_config("3c1b2l64r")
+
+    def test_malformed_names_rejected(self):
+        for bad in ("", "4c", "c1b2l", "4x1b2l", "4c1b2l64"):
+            with pytest.raises(ConfigError):
+                parse_config(bad)
+
+    def test_case_insensitive(self):
+        assert parse_config("4C2B4L64R").n_clusters == 4
+
+
+class TestBusConfig:
+    def test_capacity_matches_paper_formula(self):
+        # bus_coms = II / bus_lat * nof_buses (integer division).
+        bus = BusConfig(count=2, latency=4)
+        assert bus.capacity(8) == 4
+        assert bus.capacity(7) == 2
+        assert bus.capacity(4) == 2
+        assert bus.capacity(3) == 0
+
+    def test_single_bus_unit_latency(self):
+        bus = BusConfig(count=1, latency=1)
+        assert bus.capacity(5) == 5
+
+    def test_no_buses_no_capacity(self):
+        assert BusConfig(count=0, latency=1).capacity(100) == 0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigError):
+            BusConfig(count=-1, latency=2)
+
+    def test_zero_latency_rejected_when_buses_exist(self):
+        with pytest.raises(ConfigError):
+            BusConfig(count=1, latency=0)
+
+
+class TestUnifiedMachine:
+    def test_single_cluster_with_all_resources(self):
+        m = unified_machine()
+        assert m.n_clusters == 1
+        assert not m.is_clustered
+        for kind in FuKind:
+            assert m.fu_count(0, kind) == 4
+        assert m.issue_width == 12
+
+    def test_no_buses(self):
+        assert unified_machine().bus.count == 0
+
+    def test_latency_of_copy_is_bus_latency(self):
+        m = parse_config("4c2b4l64r")
+        assert m.latency_of(OpClass.COPY) == 4
+        assert m.latency_of(OpClass.FP_MUL) == 6
+
+
+class TestValidation:
+    def test_clustered_machine_needs_buses(self):
+        cluster = ClusterConfig(
+            fu_counts={FuKind.INT: 1, FuKind.FP: 1, FuKind.MEM: 1}, registers=64
+        )
+        with pytest.raises(ConfigError):
+            MachineConfig(
+                name="bad",
+                clusters=(cluster, cluster),
+                bus=BusConfig(count=0, latency=1),
+            )
+
+    def test_cluster_needs_positive_registers(self):
+        with pytest.raises(ConfigError):
+            ClusterConfig(fu_counts={FuKind.INT: 1}, registers=0)
+
+    def test_cluster_needs_positive_units(self):
+        with pytest.raises(ConfigError):
+            ClusterConfig(fu_counts={FuKind.INT: 0}, registers=64)
+
+    def test_machine_needs_clusters(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(name="none", clusters=(), bus=BusConfig(0, 1))

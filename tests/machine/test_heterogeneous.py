@@ -1,0 +1,80 @@
+"""Heterogeneous clusters: the paper's noted extension."""
+
+import pytest
+
+from repro.machine.config import ConfigError, heterogeneous_machine
+from repro.machine.resources import FuKind
+from repro.pipeline.driver import Scheme, compile_loop
+from repro.partition.multilevel import initial_partition
+from repro.sim.verifier import verify_kernel
+from repro.sim.vliw import simulate
+from repro.workloads.patterns import stencil5
+from repro.workloads.specfp import benchmark_loops
+
+
+@pytest.fixture
+def lopsided():
+    """One beefy cluster plus two narrow ones."""
+    return heterogeneous_machine(
+        cluster_fus=[
+            {FuKind.INT: 2, FuKind.FP: 2, FuKind.MEM: 2},
+            {FuKind.INT: 1, FuKind.FP: 1, FuKind.MEM: 1},
+            {FuKind.INT: 1, FuKind.FP: 1, FuKind.MEM: 1},
+        ],
+        bus_count=1,
+        bus_latency=2,
+    )
+
+
+class TestConstruction:
+    def test_per_cluster_counts(self, lopsided):
+        assert lopsided.fu_count(0, FuKind.FP) == 2
+        assert lopsided.fu_count(1, FuKind.FP) == 1
+        assert lopsided.issue_width == 12
+
+    def test_missing_kinds_default_to_one(self):
+        m = heterogeneous_machine(
+            cluster_fus=[{FuKind.INT: 3}, {}],
+            bus_count=1,
+            bus_latency=1,
+        )
+        assert m.fu_count(0, FuKind.FP) == 1
+        assert m.fu_count(1, FuKind.INT) == 1
+
+    def test_per_cluster_registers(self):
+        m = heterogeneous_machine(
+            cluster_fus=[{}, {}],
+            bus_count=1,
+            bus_latency=1,
+            registers=[32, 128],
+        )
+        assert m.registers(0) == 32
+        assert m.registers(1) == 128
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            heterogeneous_machine([], bus_count=1, bus_latency=1)
+        with pytest.raises(ConfigError):
+            heterogeneous_machine(
+                [{}, {}], bus_count=1, bus_latency=1, registers=[64]
+            )
+
+
+class TestCompilation:
+    def test_partitioner_favours_the_big_cluster(self, lopsided):
+        loop = benchmark_loops("apsi", limit=1)[0]
+        part = initial_partition(loop.ddg, lopsided, ii=8)
+        totals = [sum(loads.values()) for loads in part.load_table()]
+        assert totals[0] >= max(totals[1:])
+
+    def test_loops_compile_and_verify(self, lopsided):
+        for loop in benchmark_loops("hydro2d", limit=3):
+            for scheme in (Scheme.BASELINE, Scheme.REPLICATION):
+                result = compile_loop(loop.ddg, lopsided, scheme=scheme)
+                verify_kernel(result.kernel)
+
+    def test_replication_still_helps(self, lopsided):
+        base = compile_loop(stencil5(), lopsided, scheme=Scheme.BASELINE)
+        repl = compile_loop(stencil5(), lopsided, scheme=Scheme.REPLICATION)
+        assert repl.ii <= base.ii
+        assert simulate(repl.kernel, 100).ipc >= simulate(base.kernel, 100).ipc

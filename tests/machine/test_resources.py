@@ -1,0 +1,71 @@
+"""Operation classes, FU kinds and Table 1 latencies."""
+
+import pytest
+
+from repro.machine.resources import (
+    FuKind,
+    LATENCIES,
+    MEMORY_CLASSES,
+    OpClass,
+    fu_kind_of,
+    latency_of,
+)
+
+
+class TestLatencies:
+    def test_table1_memory(self):
+        assert latency_of(OpClass.LOAD) == 2
+        assert latency_of(OpClass.STORE) == 2
+
+    def test_table1_arith(self):
+        assert latency_of(OpClass.INT_ARITH) == 1
+        assert latency_of(OpClass.FP_ARITH) == 3
+
+    def test_table1_mul(self):
+        assert latency_of(OpClass.INT_MUL) == 2
+        assert latency_of(OpClass.FP_MUL) == 6
+        assert latency_of(OpClass.FP_ABS) == 6
+
+    def test_table1_div(self):
+        assert latency_of(OpClass.INT_DIV) == 6
+        assert latency_of(OpClass.FP_DIV) == 18
+        assert latency_of(OpClass.FP_SQRT) == 18
+
+    def test_copy_latency_is_machine_dependent(self):
+        with pytest.raises(KeyError):
+            latency_of(OpClass.COPY)
+
+    def test_every_non_copy_class_has_a_latency(self):
+        for op_class in OpClass:
+            if op_class is OpClass.COPY:
+                continue
+            assert LATENCIES[op_class] >= 1
+
+
+class TestFuKinds:
+    def test_memory_ops_use_mem_ports(self):
+        assert fu_kind_of(OpClass.LOAD) is FuKind.MEM
+        assert fu_kind_of(OpClass.STORE) is FuKind.MEM
+
+    def test_integer_ops_use_int_units(self):
+        for op_class in (OpClass.INT_ARITH, OpClass.INT_MUL, OpClass.INT_DIV):
+            assert fu_kind_of(op_class) is FuKind.INT
+
+    def test_fp_ops_use_fp_units(self):
+        for op_class in (
+            OpClass.FP_ARITH,
+            OpClass.FP_MUL,
+            OpClass.FP_ABS,
+            OpClass.FP_DIV,
+            OpClass.FP_SQRT,
+        ):
+            assert fu_kind_of(op_class) is FuKind.FP
+
+    def test_copy_has_no_fu(self):
+        with pytest.raises(KeyError):
+            fu_kind_of(OpClass.COPY)
+
+    def test_memory_classes(self):
+        assert OpClass.LOAD in MEMORY_CLASSES
+        assert OpClass.STORE in MEMORY_CLASSES
+        assert OpClass.FP_ARITH not in MEMORY_CLASSES

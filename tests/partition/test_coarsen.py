@@ -1,0 +1,109 @@
+"""Multilevel coarsening by maximum-weight matching."""
+
+import pytest
+
+from repro.ddg.builder import DdgBuilder
+from repro.partition.coarsen import coarsen
+
+
+@pytest.fixture
+def pair_graph():
+    """Two tightly bound pairs plus a loose link between them."""
+    b = DdgBuilder()
+    for name in "abcd":
+        b.int_op(name)
+    g = b.build()
+    uids = {n.name: n.uid for n in g.nodes()}
+    weights = {
+        (uids["a"], uids["b"]): 10,
+        (uids["c"], uids["d"]): 10,
+        (uids["b"], uids["c"]): 1,
+    }
+    return g, uids, weights
+
+
+class TestCoarsen:
+    def test_reaches_target_count(self, pair_graph):
+        g, _, weights = pair_graph
+        levels = coarsen(g, weights, n_target=2)
+        assert len(levels[-1]) == 2
+
+    def test_heavy_pairs_merge_first(self, pair_graph):
+        g, uids, weights = pair_graph
+        levels = coarsen(g, weights, n_target=2)
+        members = sorted(
+            sorted(m.members) for m in levels[-1].macro_nodes.values()
+        )
+        assert members == [
+            sorted({uids["a"], uids["b"]}),
+            sorted({uids["c"], uids["d"]}),
+        ]
+
+    def test_finest_level_is_identity(self, pair_graph):
+        g, _, weights = pair_graph
+        levels = coarsen(g, weights, n_target=2)
+        assert len(levels[0]) == len(g)
+        assert all(m.size == 1 for m in levels[0].macro_nodes.values())
+
+    def test_members_partition_the_graph(self, pair_graph):
+        g, _, weights = pair_graph
+        levels = coarsen(g, weights, n_target=2)
+        for level in levels:
+            all_members = [
+                uid for m in level.macro_nodes.values() for uid in m.members
+            ]
+            assert sorted(all_members) == sorted(g.node_ids())
+
+    def test_disconnected_graph_still_coarsens(self):
+        b = DdgBuilder()
+        for i in range(6):
+            b.int_op(f"n{i}")
+        g = b.build()
+        levels = coarsen(g, base_weights={}, n_target=2)
+        assert len(levels[-1]) == 2
+
+    def test_weights_aggregate_between_macro_nodes(self):
+        b = DdgBuilder()
+        for name in "abcd":
+            b.int_op(name)
+        g = b.build()
+        u = {n.name: n.uid for n in g.nodes()}
+        weights = {
+            (u["a"], u["b"]): 10,
+            (u["c"], u["d"]): 10,
+            (u["a"], u["c"]): 2,
+            (u["b"], u["d"]): 3,
+        }
+        levels = coarsen(g, weights, n_target=2)
+        level = levels[-1]
+        assert len(level) == 2
+        # a-c and b-d weights collapse onto the single macro pair.
+        (total,) = level.weights.values()
+        assert total == 5
+
+    def test_empty_graph(self):
+        from repro.ddg.graph import Ddg
+
+        levels = coarsen(Ddg(), {}, n_target=4)
+        assert len(levels) == 1
+        assert len(levels[0]) == 0
+
+    def test_target_larger_than_graph(self):
+        b = DdgBuilder()
+        b.int_op("a").int_op("b")
+        g = b.build()
+        levels = coarsen(g, {}, n_target=4)
+        assert len(levels[-1]) == 2
+
+    def test_balance_cap_limits_macro_size(self):
+        """A star of heavy edges must not collapse into one blob early."""
+        b = DdgBuilder()
+        for i in range(8):
+            b.int_op(f"n{i}")
+        g = b.build()
+        uids = list(g.node_ids())
+        hub = uids[0]
+        weights = {(min(hub, u), max(hub, u)): 100 for u in uids[1:]}
+        levels = coarsen(g, weights, n_target=2, balance_factor=1.5)
+        sizes = sorted(m.size for m in levels[-1].macro_nodes.values())
+        assert sizes[-1] <= 6  # cap = ceil(8/2 * 1.5) = 6

@@ -1,0 +1,76 @@
+"""The multilevel partitioner driver."""
+
+import pytest
+
+from repro.ddg.builder import DdgBuilder
+from repro.machine.config import parse_config, unified_machine
+from repro.machine.resources import FuKind
+from repro.partition.multilevel import MultilevelPartitioner, initial_partition
+from repro.workloads.patterns import stencil5
+from repro.workloads.specfp import benchmark_loops
+
+
+@pytest.fixture
+def m2():
+    return parse_config("2c1b2l64r")
+
+
+@pytest.fixture
+def m4():
+    return parse_config("4c1b2l64r")
+
+
+@pytest.fixture
+def two_chains():
+    b = DdgBuilder()
+    for s in range(2):
+        for i in range(3):
+            b.int_op(f"c{s}_{i}")
+        b.chain(f"c{s}_0", f"c{s}_1", f"c{s}_2")
+    return b.build()
+
+
+class TestMultilevel:
+    def test_separable_graph_partitions_without_comms(self, two_chains, m2):
+        part = initial_partition(two_chains, m2, ii=3)
+        assert part.nof_coms() == 0
+
+    def test_covers_all_nodes(self, m2):
+        g = stencil5()
+        part = initial_partition(g, m2, ii=4)
+        assert set(part.assignment()) == set(g.node_ids())
+
+    def test_respects_cluster_range(self, m4):
+        g = stencil5()
+        part = initial_partition(g, m4, ii=4)
+        assert all(0 <= c < 4 for c in part.assignment().values())
+
+    def test_unified_machine_gets_single_cluster(self, two_chains):
+        part = initial_partition(two_chains, unified_machine(), ii=2)
+        assert set(part.assignment().values()) == {0}
+
+    def test_hierarchy_cached_across_iis(self, m2, two_chains):
+        partitioner = MultilevelPartitioner(ddg=two_chains, machine=m2)
+        partitioner.partition(ii=3)
+        levels = partitioner.levels
+        partitioner.partition(ii=4)
+        assert partitioner.levels is levels
+
+    def test_load_roughly_balanced(self, m4):
+        loop = benchmark_loops("apsi", limit=1)[0]
+        part = initial_partition(loop.ddg, m4, ii=8)
+        totals = [sum(loads.values()) for loads in part.load_table()]
+        assert max(totals) - min(totals) <= len(loop.ddg) // 2
+
+    def test_macro_hierarchy_ends_at_cluster_count(self, m4):
+        g = stencil5()
+        partitioner = MultilevelPartitioner(ddg=g, machine=m4)
+        partitioner.partition(ii=4)
+        assert len(partitioner.levels[-1]) <= m4.n_clusters
+
+    def test_prefers_few_communications(self, m2):
+        """Suite loops should not communicate more than they have edges."""
+        loop = benchmark_loops("mgrid", limit=1)[0]
+        part = initial_partition(loop.ddg, m2, ii=6)
+        # mgrid's separable structure should partition nearly comm-free.
+        assert part.nof_coms() <= 2

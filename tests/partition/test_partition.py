@@ -1,0 +1,147 @@
+"""Partition structure: communications, bus II, resource load."""
+
+import pytest
+
+from repro.ddg.builder import DdgBuilder
+from repro.ddg.graph import EdgeKind
+from repro.machine.config import parse_config
+from repro.machine.resources import FuKind
+from repro.partition.partition import Partition, PartitionError
+
+
+@pytest.fixture
+def m2():
+    return parse_config("2c1b2l64r")
+
+
+@pytest.fixture
+def simple():
+    """p -> (c_local, c_far1, c_far2); q -> r (all local)."""
+    b = DdgBuilder("simple")
+    b.int_op("p").int_op("c_local").int_op("c_far1").int_op("c_far2")
+    b.int_op("q").int_op("r")
+    b.dep("p", "c_local").dep("p", "c_far1").dep("p", "c_far2")
+    b.dep("q", "r")
+    return b.build()
+
+
+def make_partition(ddg, mapping, n=2):
+    assignment = {ddg.node_by_name(k).uid: v for k, v in mapping.items()}
+    return Partition(ddg, assignment, n)
+
+
+class TestCommunications:
+    def test_broadcast_counts_once(self, simple):
+        """One value consumed in one foreign cluster twice = 1 comm."""
+        p = make_partition(
+            simple,
+            {"p": 0, "c_local": 0, "c_far1": 1, "c_far2": 1, "q": 1, "r": 1},
+        )
+        assert p.nof_coms() == 1
+        (comm,) = p.communications()
+        assert comm.producer == simple.node_by_name("p").uid
+        assert comm.dst_clusters == frozenset({1})
+
+    def test_multi_destination_still_one_comm(self, simple):
+        p = make_partition(
+            simple,
+            {"p": 0, "c_local": 1, "c_far1": 1, "c_far2": 2, "q": 0, "r": 0},
+            n=4,
+        )
+        (comm,) = p.communications()
+        assert comm.dst_clusters == frozenset({1, 2})
+
+    def test_local_partition_no_comms(self, simple):
+        p = make_partition(
+            simple,
+            {"p": 0, "c_local": 0, "c_far1": 0, "c_far2": 0, "q": 1, "r": 1},
+        )
+        assert p.nof_coms() == 0
+
+    def test_memory_edges_never_communicate(self):
+        b = DdgBuilder()
+        b.store("st").load("ld")
+        b.mem_dep("st", "ld")
+        g = b.build()
+        p = make_partition(g, {"st": 0, "ld": 1})
+        assert p.nof_coms() == 0
+
+
+class TestIiPart:
+    def test_no_comms_gives_one(self, simple):
+        p = make_partition(
+            simple,
+            {"p": 0, "c_local": 0, "c_far1": 0, "c_far2": 0, "q": 0, "r": 0},
+        )
+        assert p.ii_part(parse_config("2c1b2l64r")) == 1
+
+    def test_inverts_bus_capacity(self, simple, m2):
+        p = make_partition(
+            simple,
+            {"p": 0, "c_local": 0, "c_far1": 1, "c_far2": 1, "q": 0, "r": 1},
+        )
+        # 2 comms (p and q), 1 bus latency 2: need II/2*1 >= 2 -> II=4.
+        assert p.nof_coms() == 2
+        assert p.ii_part(m2) == 4
+        # Capacity at the returned II indeed covers the comms.
+        assert m2.bus.capacity(p.ii_part(m2)) >= p.nof_coms()
+
+    def test_more_buses_lower_ii(self, simple):
+        m = parse_config("2c2b2l64r")
+        p = make_partition(
+            simple,
+            {"p": 0, "c_local": 0, "c_far1": 1, "c_far2": 1, "q": 0, "r": 1},
+        )
+        assert p.ii_part(m) == 2
+
+
+class TestResources:
+    def test_load_table(self, simple):
+        p = make_partition(
+            simple,
+            {"p": 0, "c_local": 0, "c_far1": 1, "c_far2": 1, "q": 0, "r": 1},
+        )
+        table = p.load_table()
+        assert table[0][FuKind.INT] == 3
+        assert table[1][FuKind.INT] == 3
+
+    def test_fits_resources(self, simple, m2):
+        p = make_partition(
+            simple,
+            {"p": 0, "c_local": 0, "c_far1": 0, "c_far2": 0, "q": 0, "r": 0},
+        )
+        # 6 INT ops in one cluster with 2 INT units: needs II >= 3.
+        assert not p.fits_resources(m2, 2)
+        assert p.fits_resources(m2, 3)
+        assert p.min_resource_ii(m2) == 3
+
+    def test_with_move_does_not_mutate(self, simple):
+        p = make_partition(
+            simple,
+            {"p": 0, "c_local": 0, "c_far1": 0, "c_far2": 0, "q": 0, "r": 0},
+        )
+        moved = p.with_move(simple.node_by_name("q").uid, 1)
+        assert p.cluster_of(simple.node_by_name("q").uid) == 0
+        assert moved.cluster_of(simple.node_by_name("q").uid) == 1
+
+
+class TestValidation:
+    def test_incomplete_assignment_rejected(self, simple):
+        with pytest.raises(PartitionError):
+            Partition(simple, {0: 0}, 2)
+
+    def test_bad_cluster_rejected(self, simple):
+        assignment = {uid: 0 for uid in simple.node_ids()}
+        assignment[0] = 7
+        with pytest.raises(PartitionError):
+            Partition(simple, assignment, 2)
+
+    def test_comms_without_buses_rejected(self, simple):
+        from repro.machine.config import unified_machine
+
+        p = make_partition(
+            simple,
+            {"p": 0, "c_local": 0, "c_far1": 1, "c_far2": 1, "q": 1, "r": 1},
+        )
+        with pytest.raises(PartitionError):
+            p.ii_part(unified_machine())

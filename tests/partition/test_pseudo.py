@@ -1,0 +1,88 @@
+"""Pseudo-schedule partition metric."""
+
+import pytest
+
+from repro.ddg.builder import DdgBuilder
+from repro.machine.config import parse_config
+from repro.partition.partition import Partition
+from repro.partition.pseudo import pseudo_schedule
+
+
+@pytest.fixture
+def m2():
+    return parse_config("2c1b2l64r")
+
+
+@pytest.fixture
+def two_chains():
+    """Two independent 3-op int chains."""
+    b = DdgBuilder()
+    for s in range(2):
+        for i in range(3):
+            b.int_op(f"c{s}_{i}")
+        b.chain(f"c{s}_0", f"c{s}_1", f"c{s}_2")
+    return b.build()
+
+
+def split(ddg, mapping, n=2):
+    return Partition(
+        ddg, {ddg.node_by_name(k).uid: v for k, v in mapping.items()}, n
+    )
+
+
+class TestPseudoSchedule:
+    def test_clean_split_beats_cut_chains(self, two_chains, m2):
+        clean = split(
+            two_chains,
+            {"c0_0": 0, "c0_1": 0, "c0_2": 0, "c1_0": 1, "c1_1": 1, "c1_2": 1},
+        )
+        cut = split(
+            two_chains,
+            {"c0_0": 0, "c0_1": 1, "c0_2": 0, "c1_0": 1, "c1_1": 0, "c1_2": 1},
+        )
+        assert pseudo_schedule(clean, m2, 2).key < pseudo_schedule(cut, m2, 2).key
+
+    def test_comm_count_reported(self, two_chains, m2):
+        cut = split(
+            two_chains,
+            {"c0_0": 0, "c0_1": 1, "c0_2": 1, "c1_0": 1, "c1_1": 1, "c1_2": 1},
+        )
+        ps = pseudo_schedule(cut, m2, 2)
+        assert ps.nof_coms == 1
+
+    def test_bus_latency_lengthens_estimate(self, two_chains, m2):
+        clean = split(
+            two_chains,
+            {"c0_0": 0, "c0_1": 0, "c0_2": 0, "c1_0": 1, "c1_1": 1, "c1_2": 1},
+        )
+        cut = split(
+            two_chains,
+            {"c0_0": 0, "c0_1": 1, "c0_2": 1, "c1_0": 1, "c1_1": 1, "c1_2": 1},
+        )
+        assert (
+            pseudo_schedule(cut, m2, 4).length_estimate
+            > pseudo_schedule(clean, m2, 4).length_estimate
+        )
+
+    def test_imbalance_measured(self, two_chains, m2):
+        lopsided = split(
+            two_chains,
+            {"c0_0": 0, "c0_1": 0, "c0_2": 0, "c1_0": 0, "c1_1": 0, "c1_2": 0},
+        )
+        assert pseudo_schedule(lopsided, m2, 3).imbalance == 6
+
+    def test_ii_estimate_respects_resources(self, two_chains, m2):
+        lopsided = split(
+            two_chains,
+            {"c0_0": 0, "c0_1": 0, "c0_2": 0, "c1_0": 0, "c1_1": 0, "c1_2": 0},
+        )
+        # 6 INT ops on 2 INT units need II >= 3 even if asked at II=1.
+        assert pseudo_schedule(lopsided, m2, 1).ii_estimate == 3
+
+    def test_ii_estimate_respects_bus(self, two_chains, m2):
+        cut = split(
+            two_chains,
+            {"c0_0": 0, "c0_1": 1, "c0_2": 0, "c1_0": 1, "c1_1": 0, "c1_2": 1},
+        )
+        ps = pseudo_schedule(cut, m2, 1)
+        assert ps.ii_estimate >= cut.ii_part(m2)

@@ -1,0 +1,40 @@
+"""Refinement must never trade hard capacity away (pseudo-key guard)."""
+
+import pytest
+
+from repro.ddg.analysis import mii, rec_mii
+from repro.machine.config import parse_config
+from repro.partition.multilevel import MultilevelPartitioner
+from repro.workloads.specfp import benchmark_loops
+
+
+@pytest.mark.parametrize("config", ["2c1b2l64r", "4c1b2l64r", "4c2b2l64r"])
+def test_partitions_respect_capacity_at_their_ii(config):
+    """At any II >= the machine-wide ResMII, the partitioner's output
+    fits per-cluster FU capacity — refinement cannot undo the repair."""
+    machine = parse_config(config)
+    for loop in benchmark_loops("su2cor", limit=4):
+        lo = max(mii(loop.ddg, machine), rec_mii(loop.ddg))
+        partitioner = MultilevelPartitioner(ddg=loop.ddg, machine=machine)
+        for ii in (lo, lo + 2, lo + 5):
+            part = partitioner.partition(ii)
+            assert part.fits_resources(machine, ii), (loop.name, ii)
+
+
+def test_register_floor_respected_after_refinement():
+    machine = parse_config("2c1b2l16r")
+    for loop in benchmark_loops("fpppp", limit=3):
+        partitioner = MultilevelPartitioner(ddg=loop.ddg, machine=machine)
+        part = partitioner.partition(ii=mii(loop.ddg, machine) + 4)
+        for cluster in machine.cluster_ids():
+            producers = sum(
+                1
+                for uid in part.nodes_in(cluster)
+                if not loop.ddg.node(uid).is_store
+            )
+            # The floor holds whenever the machine can hold it at all.
+            total_producers = sum(
+                1 for n in loop.ddg.nodes() if not n.is_store
+            )
+            if total_producers <= 2 * machine.registers(cluster):
+                assert producers <= machine.registers(cluster), loop.name

@@ -1,0 +1,90 @@
+"""Capacity repair: the hard per-cluster constraints of section 2.3.1."""
+
+import pytest
+
+from repro.ddg.builder import DdgBuilder
+from repro.machine.config import heterogeneous_machine, parse_config
+from repro.machine.resources import FuKind
+from repro.partition.multilevel import MultilevelPartitioner, _repair_capacity
+from repro.partition.partition import Partition
+
+
+@pytest.fixture
+def m2():
+    return parse_config("2c1b2l64r")
+
+
+def lopsided_partition(n_int, cluster=0, n_clusters=2):
+    b = DdgBuilder()
+    for i in range(n_int):
+        b.int_op(f"p{i}")
+    g = b.build()
+    return Partition(g, {u: cluster for u in g.node_ids()}, n_clusters)
+
+
+class TestFuRepair:
+    def test_overflow_redistributed(self, m2):
+        # 6 INT ops in one cluster (2 units): at II=2 capacity is 4.
+        part = lopsided_partition(6)
+        repaired = _repair_capacity(part, m2, ii=2)
+        assert repaired.fits_resources(m2, 2)
+
+    def test_already_feasible_untouched(self, m2):
+        part = lopsided_partition(3)
+        repaired = _repair_capacity(part, m2, ii=2)
+        assert repaired.assignment() == part.assignment()
+
+    def test_machine_wide_saturation_best_effort(self, m2):
+        # 10 INT ops on 4 total units at II=2: capacity 8 machine-wide.
+        part = lopsided_partition(10)
+        repaired = _repair_capacity(part, m2, ii=2)
+        # Cannot fit; repair still balances as far as capacity allows.
+        table = repaired.load_table()
+        assert table[1][FuKind.INT] >= 4
+
+    def test_least_attached_nodes_move_first(self, m2):
+        """A node glued to its cluster stays; a loner moves."""
+        b = DdgBuilder()
+        for i in range(5):
+            b.int_op(f"p{i}")
+        # p0..p3 form a clique-ish chain; p4 is isolated.
+        b.chain("p0", "p1", "p2", "p3")
+        g = b.build()
+        part = Partition(g, {u: 0 for u in g.node_ids()}, 2)
+        repaired = _repair_capacity(part, m2, ii=2)
+        assert repaired.cluster_of(g.node_by_name("p4").uid) == 1
+
+    def test_heterogeneous_capacities_respected(self):
+        machine = heterogeneous_machine(
+            cluster_fus=[
+                {FuKind.INT: 3, FuKind.FP: 1, FuKind.MEM: 1},
+                {FuKind.INT: 1, FuKind.FP: 1, FuKind.MEM: 1},
+            ],
+            bus_count=1,
+            bus_latency=2,
+        )
+        part = lopsided_partition(7, cluster=1)
+        repaired = _repair_capacity(part, machine, ii=2)
+        assert repaired.fits_resources(machine, 2)
+
+
+class TestRegisterFloorRepair:
+    def test_producer_overflow_redistributed(self):
+        machine = parse_config("2c1b2l4r")  # 4 registers per cluster
+        part = lopsided_partition(6)  # 6 producers > 4 registers
+        repaired = _repair_capacity(part, machine, ii=8)
+        counts = [0, 0]
+        for uid, cluster in repaired.assignment().items():
+            counts[cluster] += 1
+        assert max(counts) <= 4
+
+    def test_partitioner_integrates_repair(self):
+        machine = parse_config("2c1b2l4r")
+        b = DdgBuilder()
+        for i in range(6):
+            b.int_op(f"p{i}")
+        g = b.build()
+        partitioner = MultilevelPartitioner(ddg=g, machine=machine)
+        part = partitioner.partition(ii=8)
+        counts = [len(part.nodes_in(c)) for c in range(2)]
+        assert max(counts) <= 4

@@ -1,0 +1,76 @@
+"""Edge weighting for coarsening."""
+
+import pytest
+
+from repro.ddg.analysis import analyze
+from repro.ddg.builder import DdgBuilder
+from repro.ddg.graph import EdgeKind
+from repro.partition.weights import edge_weight, edge_weights
+
+
+@pytest.fixture
+def diamond():
+    """a -> (b critical, x slacked) -> c."""
+    b = DdgBuilder()
+    b.fp_op("a").fp_op("b").fp_op("c").int_op("x")
+    b.chain("a", "b", "c")
+    b.dep("a", "x").dep("x", "c")
+    return b.build()
+
+
+class TestEdgeWeight:
+    def test_critical_edges_weigh_more(self, diamond):
+        analysis = analyze(diamond, ii=1)
+        bus_latency = 2
+        by_pair = edge_weights(diamond, analysis, bus_latency)
+        a = diamond.node_by_name("a").uid
+        b = diamond.node_by_name("b").uid
+        x = diamond.node_by_name("x").uid
+        key_ab = (min(a, b), max(a, b))
+        key_ax = (min(a, x), max(a, x))
+        assert by_pair[key_ab] > by_pair[key_ax]
+
+    def test_slacked_edge_approaches_floor(self, diamond):
+        analysis = analyze(diamond, ii=1)
+        for edge in diamond.edges():
+            if edge.dst == diamond.node_by_name("x").uid:
+                # slack 2 >= bus latency 2 -> only the epsilon floor.
+                assert edge_weight(diamond, edge, analysis, 2) == 1
+
+    def test_memory_edges_weigh_zero(self):
+        b = DdgBuilder()
+        b.store("st").load("ld")
+        b.mem_dep("st", "ld")
+        g = b.build()
+        analysis = analyze(g, ii=1)
+        (edge,) = g.edges()
+        assert edge_weight(g, edge, analysis, 2) == 0
+        assert edge_weights(g, analysis, 2) == {}
+
+    def test_self_edges_excluded(self):
+        b = DdgBuilder()
+        b.fp_op("acc")
+        b.dep("acc", "acc", distance=1)
+        g = b.build()
+        analysis = analyze(g, ii=3)
+        assert edge_weights(g, analysis, 2) == {}
+
+    def test_parallel_edges_accumulate(self):
+        b = DdgBuilder()
+        b.load("a").load("b")
+        b.dep("a", "b")
+        b.mem_dep("a", "b")
+        g = b.build()
+        analysis = analyze(g, ii=1)
+        weights = edge_weights(g, analysis, 2)
+        # only the register edge contributes, so one entry.
+        assert len(weights) == 1
+
+    def test_larger_bus_latency_raises_weights(self, diamond):
+        analysis = analyze(diamond, ii=1)
+        low = edge_weights(diamond, analysis, 1)
+        high = edge_weights(diamond, analysis, 4)
+        a = diamond.node_by_name("a").uid
+        b = diamond.node_by_name("b").uid
+        key = (min(a, b), max(a, b))
+        assert high[key] > low[key]

@@ -1,0 +1,92 @@
+"""The experiment memoization layer."""
+
+import pytest
+
+from repro.pipeline.driver import Scheme
+from repro.pipeline import experiments
+from repro.schedule.scheduler import FailureCause
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    experiments.clear_cache()
+    yield
+    experiments.clear_cache()
+
+
+class TestConfiguredLimit:
+    def test_default_is_full(self, monkeypatch):
+        monkeypatch.delenv(experiments.LIMIT_ENV, raising=False)
+        assert experiments.configured_limit() is None
+
+    def test_all_keyword(self, monkeypatch):
+        monkeypatch.setenv(experiments.LIMIT_ENV, "all")
+        assert experiments.configured_limit() is None
+
+    def test_numeric(self, monkeypatch):
+        monkeypatch.setenv(experiments.LIMIT_ENV, "7")
+        assert experiments.configured_limit() == 7
+
+    def test_minimum_one(self, monkeypatch):
+        monkeypatch.setenv(experiments.LIMIT_ENV, "0")
+        assert experiments.configured_limit() == 1
+
+
+class TestMachineFor:
+    def test_unified(self):
+        assert not experiments.machine_for("unified").is_clustered
+
+    def test_config_name(self):
+        assert experiments.machine_for("4c2b4l64r").n_clusters == 4
+
+
+class TestCompileSuite:
+    def test_results_are_memoized(self):
+        machine = experiments.machine_for("2c1b2l64r")
+        first = experiments.compile_suite(
+            "mgrid", machine, Scheme.BASELINE, limit=2
+        )
+        second = experiments.compile_suite(
+            "mgrid", machine, Scheme.BASELINE, limit=2
+        )
+        assert first is second
+
+    def test_cache_distinguishes_schemes(self):
+        machine = experiments.machine_for("2c1b2l64r")
+        base = experiments.compile_suite(
+            "mgrid", machine, Scheme.BASELINE, limit=2
+        )
+        repl = experiments.compile_suite(
+            "mgrid", machine, Scheme.REPLICATION, limit=2
+        )
+        assert base is not repl
+
+    def test_metrics_carry_profiles(self):
+        machine = experiments.machine_for("2c1b2l64r")
+        for metric in experiments.compile_suite(
+            "swim", machine, Scheme.BASELINE, limit=2
+        ):
+            assert metric.cycles > 0
+            assert metric.useful_ops > 0
+
+
+class TestAggregates:
+    def test_ipc_table_has_hmean(self):
+        machine = experiments.machine_for("2c1b2l64r")
+        table = experiments.ipc_by_benchmark(
+            machine, Scheme.BASELINE, limit=1
+        )
+        assert "hmean" in table
+        assert len(table) == 11
+        assert all(v > 0 for v in table.values())
+
+    def test_cause_histogram_covers_all_causes(self):
+        machine = experiments.machine_for("4c1b2l64r")
+        histogram = experiments.cause_histogram(machine, limit=1)
+        assert set(histogram) == set(FailureCause)
+        assert all(count >= 0 for count in histogram.values())
+
+    def test_mean_ii_reduction_bounds(self):
+        machine = experiments.machine_for("4c1b2l64r")
+        reduction = experiments.mean_ii_reduction("applu", machine, limit=3)
+        assert 0.0 <= reduction < 1.0

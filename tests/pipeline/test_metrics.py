@@ -1,0 +1,115 @@
+"""Evaluation metrics: IPC aggregation, Figure 10, comm stats."""
+
+import pytest
+
+from repro.machine.config import parse_config
+from repro.machine.resources import FuKind
+from repro.pipeline.driver import Scheme, compile_loop
+from repro.pipeline.metrics import (
+    added_instruction_stats,
+    benchmark_metrics,
+    comm_stats,
+    harmonic_mean,
+    loop_metrics,
+    speedup,
+)
+from repro.workloads.specfp import benchmark_loops
+
+
+@pytest.fixture
+def m4():
+    return parse_config("4c1b2l64r")
+
+
+@pytest.fixture
+def compiled_pair(m4):
+    loops = benchmark_loops("su2cor", limit=4)
+    base = [
+        loop_metrics(l, compile_loop(l.ddg, m4, scheme=Scheme.BASELINE))
+        for l in loops
+    ]
+    repl = [
+        loop_metrics(l, compile_loop(l.ddg, m4, scheme=Scheme.REPLICATION))
+        for l in loops
+    ]
+    return base, repl
+
+
+class TestLoopMetrics:
+    def test_cycles_follow_texec_model(self, m4):
+        loop = benchmark_loops("swim", limit=1)[0]
+        result = compile_loop(loop.ddg, m4, scheme=Scheme.BASELINE)
+        m = loop_metrics(loop, result)
+        k = result.kernel
+        assert m.cycles == loop.visits * (
+            (loop.iterations - 1 + k.stage_count) * k.ii
+        )
+
+    def test_useful_ops_are_program_work(self, m4):
+        loop = benchmark_loops("swim", limit=1)[0]
+        result = compile_loop(loop.ddg, m4, scheme=Scheme.REPLICATION)
+        m = loop_metrics(loop, result)
+        assert m.useful_ops == len(loop.ddg) * loop.iterations * loop.visits
+
+    def test_ipc_positive_and_bounded(self, compiled_pair, m4):
+        for metrics in compiled_pair:
+            for m in metrics:
+                assert 0 < m.ipc <= m4.issue_width
+
+
+class TestAggregation:
+    def test_benchmark_ipc_is_work_over_time(self, compiled_pair):
+        base, _ = compiled_pair
+        agg = benchmark_metrics("su2cor", base)
+        assert agg.ipc == pytest.approx(
+            sum(m.useful_ops for m in base) / sum(m.cycles for m in base)
+        )
+
+    def test_speedup_matches_cycle_ratio(self, compiled_pair):
+        base, repl = compiled_pair
+        b = benchmark_metrics("su2cor", base)
+        r = benchmark_metrics("su2cor", repl)
+        assert speedup(b, r) == pytest.approx(b.cycles / r.cycles)
+        assert speedup(b, r) >= 1.0  # replication never hurts here
+
+    def test_harmonic_mean(self):
+        assert harmonic_mean([2.0, 2.0]) == pytest.approx(2.0)
+        assert harmonic_mean([1.0, 3.0]) == pytest.approx(1.5)
+        assert harmonic_mean([]) == 0.0
+        assert harmonic_mean([0.0, 2.0]) == pytest.approx(2.0)
+
+
+class TestAddedInstructions:
+    def test_baseline_adds_nothing(self, compiled_pair):
+        base, _ = compiled_pair
+        stats = added_instruction_stats(base)
+        assert sum(stats.added.values()) == 0
+        assert stats.total_percent == 0.0
+
+    def test_replication_adds_bounded_overhead(self, compiled_pair):
+        _, repl = compiled_pair
+        stats = added_instruction_stats(repl)
+        assert sum(stats.added.values()) >= 0
+        # Section 4: well below the FU budget; we allow a loose bound.
+        assert stats.total_percent < 30.0
+
+    def test_percent_by_kind_defined(self, compiled_pair):
+        _, repl = compiled_pair
+        stats = added_instruction_stats(repl)
+        for kind in FuKind:
+            assert stats.percent(kind) >= -100.0
+
+
+class TestCommStats:
+    def test_fractions(self, compiled_pair):
+        _, repl = compiled_pair
+        stats = comm_stats([m.result for m in repl])
+        assert 0.0 <= stats.removed_fraction <= 1.0
+        if stats.removed_coms:
+            assert stats.replicas_per_removed_comm > 0
+
+    def test_baseline_removes_nothing(self, compiled_pair):
+        base, _ = compiled_pair
+        stats = comm_stats([m.result for m in base])
+        assert stats.removed_coms == 0
+        assert stats.removed_fraction == 0.0

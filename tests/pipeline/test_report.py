@@ -1,0 +1,29 @@
+"""Text table rendering."""
+
+from repro.pipeline.report import format_table
+
+
+class TestFormatTable:
+    def test_headers_and_rows(self):
+        text = format_table(
+            ["bench", "ipc"], [["swim", 3.14159], ["mgrid", 2]], title="Fig"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Fig"
+        assert "bench" in lines[2]
+        assert "3.14" in text
+        assert "mgrid" in text
+
+    def test_numbers_right_aligned(self):
+        text = format_table(["name", "value"], [["x", 1], ["longer", 22]])
+        rows = text.splitlines()[2:]
+        assert rows[0].endswith(" 1")
+        assert rows[1].endswith("22")
+
+    def test_no_title(self):
+        text = format_table(["a"], [["b"]])
+        assert text.splitlines()[0] == "a"
+
+    def test_width_adapts_to_cells(self):
+        text = format_table(["h"], [["very-long-cell"]])
+        assert "very-long-cell" in text

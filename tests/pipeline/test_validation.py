@@ -1,0 +1,25 @@
+"""The installation self-check."""
+
+from repro.pipeline.validation import SelfCheckReport, self_check
+
+
+class TestSelfCheck:
+    def test_runs_green_and_counts(self):
+        report = self_check()
+        assert report.loops_compiled >= 20
+        assert report.kernels_verified == report.loops_compiled
+        assert report.iterations_simulated > 0
+        assert report.programs_diffed >= report.loops_compiled - 1
+        assert report.clusters_allocated > 0
+
+    def test_summary_mentions_everything(self):
+        report = SelfCheckReport(
+            loops_compiled=1,
+            kernels_verified=2,
+            iterations_simulated=3,
+            programs_diffed=4,
+            clusters_allocated=5,
+        )
+        text = report.summary()
+        for token in ("1", "2", "3", "4", "5"):
+            assert token in text

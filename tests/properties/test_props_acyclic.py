@@ -1,0 +1,101 @@
+"""Property-based invariants on the acyclic scheduler and replication."""
+
+from __future__ import annotations
+
+import random
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.acyclic.listsched import list_schedule
+from repro.acyclic.replicate import replicate_acyclic
+from repro.core.plan import EMPTY_PLAN
+from repro.machine.config import parse_config
+from repro.partition.multilevel import initial_partition
+from repro.schedule.placed import build_placed_graph
+from repro.workloads.acyclic import acyclic_block
+from repro.workloads.generator import LoopSpec, generate_loop
+
+_MACHINES = ["2c1b2l64r", "4c1b2l64r", "4c2b4l64r"]
+
+
+@st.composite
+def blocks(draw):
+    seed = draw(st.integers(0, 10_000))
+    spec = LoopSpec(
+        name="dag",
+        n_streams=draw(st.integers(2, 5)),
+        stream_depth=(1, draw(st.integers(2, 4))),
+        shared_values=draw(st.integers(1, 4)),
+        shared_fanout=(1, draw(st.integers(1, 3))),
+        cross_link_prob=draw(st.floats(0.0, 0.3)),
+        recurrence_prob=draw(st.floats(0.0, 0.4)),
+        trip_range=(2, 20),
+        visit_range=(1, 20),
+    )
+    return acyclic_block(generate_loop(spec, random.Random(seed)).ddg)
+
+
+def check_sound(schedule):
+    graph, machine = schedule.graph, schedule.machine
+    for inst in graph.instances():
+        for edge in graph.out_edges(inst.iid):
+            ready = schedule.start[inst.iid] + machine.latency_of(
+                inst.op_class
+            )
+            assert schedule.start[edge.dst] >= ready
+    fu = {}
+    for inst in graph.instances():
+        if inst.is_copy:
+            continue
+        key = (schedule.start[inst.iid], inst.cluster, inst.fu_kind)
+        fu[key] = fu.get(key, 0) + 1
+        assert fu[key] <= machine.fu_count(inst.cluster, inst.fu_kind)
+    bus = set()
+    for inst in graph.instances():
+        if not inst.is_copy:
+            continue
+        index = schedule.buses[inst.iid]
+        for offset in range(machine.bus.latency):
+            key = (schedule.start[inst.iid] + offset, index)
+            assert key not in bus
+            bus.add(key)
+
+
+class TestAcyclicProperties:
+    @given(blocks(), st.sampled_from(_MACHINES))
+    @settings(max_examples=25, deadline=None)
+    def test_list_schedules_are_sound(self, block, name):
+        machine = parse_config(name)
+        part = initial_partition(block, machine, ii=4)
+        graph = build_placed_graph(block, part, machine, EMPTY_PLAN)
+        schedule = list_schedule(graph, machine)
+        assert len(schedule.start) == len(graph)
+        check_sound(schedule)
+
+    @given(blocks(), st.sampled_from(_MACHINES))
+    @settings(max_examples=20, deadline=None)
+    def test_length_bounded_by_critical_path_and_work(self, block, name):
+        machine = parse_config(name)
+        part = initial_partition(block, machine, ii=4)
+        graph = build_placed_graph(block, part, machine, EMPTY_PLAN)
+        schedule = list_schedule(graph, machine)
+        # Lower bound: the graph's latency-weighted critical path.
+        from repro.schedule.order import placed_analysis
+
+        analysis = placed_analysis(graph, machine, ii=1)
+        assert schedule.length >= analysis.length
+        # Loose upper bound: everything fully serialized.
+        serial = sum(
+            machine.latency_of(inst.op_class) for inst in graph.instances()
+        )
+        assert schedule.length <= serial + len(graph)
+
+    @given(blocks(), st.sampled_from(_MACHINES))
+    @settings(max_examples=15, deadline=None)
+    def test_replication_never_lengthens(self, block, name):
+        machine = parse_config(name)
+        part = initial_partition(block, machine, ii=4)
+        result = replicate_acyclic(part, machine, max_rounds=3)
+        assert result.length <= result.baseline_length
+        check_sound(result.schedule)

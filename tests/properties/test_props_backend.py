@@ -1,0 +1,127 @@
+"""Property-based invariants on the backend: codegen and regalloc.
+
+Every compilable loop must yield (a) a software-pipeline factorization
+that stitches back into the flat program, and (b) a register allocation
+with provably non-overlapping lifetimes. These are whole-backend
+metamorphic checks over the workload generator's distribution.
+"""
+
+from __future__ import annotations
+
+import random
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.codegen.program import flat_program, software_pipeline
+from repro.machine.config import parse_config
+from repro.pipeline.driver import Scheme, compile_loop
+from repro.schedule.regalloc import allocate, verify_allocation
+from repro.workloads.generator import LoopSpec, generate_loop
+
+_MACHINES = ["2c1b2l64r", "4c1b2l64r", "4c2b4l64r"]
+
+
+@st.composite
+def workload_loops(draw):
+    seed = draw(st.integers(0, 10_000))
+    spec = LoopSpec(
+        name="backend",
+        n_streams=draw(st.integers(2, 5)),
+        stream_depth=(1, draw(st.integers(2, 4))),
+        shared_values=draw(st.integers(1, 4)),
+        shared_fanout=(1, draw(st.integers(1, 3))),
+        cross_link_prob=draw(st.floats(0.0, 0.3)),
+        recurrence_prob=draw(st.floats(0.0, 0.4)),
+        trip_range=(2, 40),
+        visit_range=(1, 40),
+    )
+    return generate_loop(spec, random.Random(seed))
+
+
+class TestBackendProperties:
+    @given(workload_loops(), st.sampled_from(_MACHINES))
+    @settings(max_examples=20, deadline=None)
+    def test_flat_program_issue_counts(self, loop, name):
+        machine = parse_config(name)
+        result = compile_loop(loop.ddg, machine, scheme=Scheme.REPLICATION)
+        n = result.kernel.stage_count + 2
+        program = flat_program(result.kernel, n)
+        assert program.issue_count() == len(result.kernel.ops) * n
+
+    @given(workload_loops(), st.sampled_from(_MACHINES))
+    @settings(max_examples=15, deadline=None)
+    def test_pipeline_stitches_into_flat(self, loop, name):
+        machine = parse_config(name)
+        result = compile_loop(loop.ddg, machine, scheme=Scheme.REPLICATION)
+        kernel = result.kernel
+        pipelined = software_pipeline(kernel)
+        sc, ii = kernel.stage_count, kernel.ii
+        n = sc + 2
+        flat = flat_program(kernel, n)
+        fill = (sc - 1) * ii
+
+        def key(ops):
+            return sorted((o.name, o.cluster, o.iteration) for o in ops)
+
+        for cycle, word in enumerate(flat.words):
+            if cycle < fill:
+                assert key(word.ops) == key(pipelined.prolog[cycle].ops)
+            elif cycle < n * ii:
+                window, row = divmod(cycle - fill, ii)
+                expected = sorted(
+                    (o.name, o.cluster, (sc - 1) - o.iteration + window)
+                    for o in pipelined.kernel[row].ops
+                )
+                assert key(word.ops) == expected
+            else:
+                shift = n - sc
+                expected = sorted(
+                    (o.name, o.cluster, o.iteration + shift)
+                    for o in pipelined.epilog[cycle - n * ii].ops
+                )
+                assert key(word.ops) == expected
+
+    @given(workload_loops(), st.sampled_from(_MACHINES))
+    @settings(max_examples=20, deadline=None)
+    def test_register_allocation_sound(self, loop, name):
+        machine = parse_config(name)
+        result = compile_loop(loop.ddg, machine, scheme=Scheme.REPLICATION)
+        for allocation in allocate(result.kernel, strict=False):
+            verify_allocation(result.kernel, allocation)
+
+    @given(workload_loops(), st.sampled_from(_MACHINES))
+    @settings(max_examples=15, deadline=None)
+    def test_ims_schedules_verify(self, loop, name):
+        """The backtracking scheduler is sound on whatever it accepts."""
+        from repro.core.plan import EMPTY_PLAN
+        from repro.ddg.analysis import mii
+        from repro.partition.multilevel import initial_partition
+        from repro.schedule.ims import ims_schedule
+        from repro.schedule.placed import build_placed_graph
+        from repro.schedule.scheduler import ScheduleFailure
+        from repro.sim.verifier import verify_kernel
+
+        machine = parse_config(name)
+        lo = mii(loop.ddg, machine)
+        for ii in range(lo, lo + 24):
+            part = initial_partition(loop.ddg, machine, ii)
+            graph = build_placed_graph(loop.ddg, part, machine, EMPTY_PLAN)
+            if graph.n_comms() > machine.bus.capacity(ii):
+                continue
+            try:
+                kernel = ims_schedule(graph, machine, ii)
+            except ScheduleFailure:
+                continue
+            verify_kernel(kernel)
+            return
+
+    @given(workload_loops())
+    @settings(max_examples=15, deadline=None)
+    def test_allocation_fits_when_schedule_passed_register_check(self, loop):
+        """The scheduler's MaxLive gate keeps first-fit within ~2x slack."""
+        machine = parse_config("4c1b2l64r")
+        result = compile_loop(loop.ddg, machine, scheme=Scheme.REPLICATION)
+        for allocation in allocate(result.kernel, strict=False):
+            limit = machine.registers(allocation.cluster)
+            assert allocation.registers_used <= 2 * limit

@@ -1,0 +1,172 @@
+"""Property-based invariants on random loops and partitions.
+
+The strategy builds random-but-valid cyclic DDGs: intra-iteration edges
+only go forward in node order (no zero-distance cycles), loop-carried
+edges may go anywhere, and stores never produce register values.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.replicator import replicate
+from repro.core.state import ReplicationState
+from repro.ddg.analysis import analyze, mii, rec_mii
+from repro.ddg.graph import Ddg, DdgError, EdgeKind
+from repro.machine.config import parse_config
+from repro.machine.resources import OpClass
+from repro.partition.multilevel import initial_partition
+from repro.schedule.placed import build_placed_graph
+
+_OP_CLASSES = [
+    OpClass.LOAD,
+    OpClass.STORE,
+    OpClass.INT_ARITH,
+    OpClass.INT_MUL,
+    OpClass.FP_ARITH,
+    OpClass.FP_MUL,
+]
+
+_MACHINES = ["2c1b2l64r", "4c1b2l64r", "4c2b4l64r"]
+
+
+@st.composite
+def ddgs(draw, min_nodes=2, max_nodes=14):
+    """A random valid loop DDG."""
+    n = draw(st.integers(min_nodes, max_nodes))
+    classes = draw(
+        st.lists(st.sampled_from(_OP_CLASSES), min_size=n, max_size=n)
+    )
+    g = Ddg("random")
+    nodes = [g.add_node(f"n{i}", c) for i, c in enumerate(classes)]
+
+    n_edges = draw(st.integers(0, min(3 * n, 30)))
+    for _ in range(n_edges):
+        i = draw(st.integers(0, n - 1))
+        j = draw(st.integers(0, n - 1))
+        distance = draw(st.integers(0, 2))
+        src, dst = nodes[i], nodes[j]
+        if distance == 0 and i >= j:
+            continue  # keep zero-distance edges acyclic
+        kind = EdgeKind.REGISTER
+        if src.op_class is OpClass.STORE:
+            kind = EdgeKind.MEMORY
+        try:
+            g.add_edge(src, dst, distance=distance, kind=kind)
+        except DdgError:
+            continue
+    return g
+
+
+@st.composite
+def machines(draw):
+    return parse_config(draw(st.sampled_from(_MACHINES)))
+
+
+class TestAnalysisProperties:
+    @given(ddgs())
+    @settings(max_examples=60, deadline=None)
+    def test_rec_mii_is_minimal_feasible(self, g):
+        r = rec_mii(g)
+        analysis = analyze(g, r)  # must converge
+        assert analysis.length >= max(n.latency for n in g.nodes())
+        if r > 1:
+            try:
+                analyze(g, r - 1)
+                converged = True
+            except DdgError:
+                converged = False
+            assert not converged
+
+    @given(ddgs())
+    @settings(max_examples=60, deadline=None)
+    def test_slack_nonnegative_at_recmii(self, g):
+        analysis = analyze(g, rec_mii(g))
+        for uid in g.node_ids():
+            assert analysis.slack(uid) >= 0
+            assert analysis.asap[uid] + g.node(uid).latency <= analysis.length
+
+
+class TestPartitionProperties:
+    @given(ddgs(), machines(), st.integers(1, 12))
+    @settings(max_examples=40, deadline=None)
+    def test_partition_covers_and_respects_clusters(self, g, m, ii):
+        part = initial_partition(g, m, max(ii, rec_mii(g)))
+        assignment = part.assignment()
+        assert set(assignment) == set(g.node_ids())
+        assert all(0 <= c < m.n_clusters for c in assignment.values())
+
+    @given(ddgs(), machines())
+    @settings(max_examples=40, deadline=None)
+    def test_comm_count_matches_definition(self, g, m):
+        ii = max(4, rec_mii(g))
+        part = initial_partition(g, m, ii)
+        expected = 0
+        for uid in g.node_ids():
+            home = part.cluster_of(uid)
+            if any(
+                part.cluster_of(e.dst) != home
+                for e in g.out_edges(uid)
+                if e.kind is EdgeKind.REGISTER
+            ):
+                expected += 1
+        assert part.nof_coms() == expected
+
+
+class TestReplicationProperties:
+    @given(ddgs(), machines())
+    @settings(max_examples=40, deadline=None)
+    def test_feasible_plans_fit_the_bus(self, g, m):
+        ii = max(4, rec_mii(g), mii(g, m))
+        part = initial_partition(g, m, ii)
+        plan = replicate(part, m, ii)
+        if plan.feasible:
+            state = ReplicationState.from_plan(part, m, ii, plan)
+            assert state.extra_coms() == 0
+
+    @given(ddgs(), machines())
+    @settings(max_examples=40, deadline=None)
+    def test_plans_always_materialize(self, g, m):
+        """A feasible plan never strands a consumer (placement works)."""
+        ii = max(4, rec_mii(g), mii(g, m))
+        part = initial_partition(g, m, ii)
+        plan = replicate(part, m, ii)
+        if plan.feasible:
+            placed = build_placed_graph(g, part, m, plan)
+            assert placed.n_comms() <= m.bus.capacity(ii)
+
+    @given(ddgs(), machines())
+    @settings(max_examples=40, deadline=None)
+    def test_stores_never_replicated_or_removed(self, g, m):
+        ii = max(4, rec_mii(g), mii(g, m))
+        part = initial_partition(g, m, ii)
+        plan = replicate(part, m, ii)
+        for uid in plan.replicas:
+            assert not g.node(uid).is_store
+        for uid in plan.removed:
+            assert not g.node(uid).is_store
+
+    @given(ddgs(), machines())
+    @settings(max_examples=40, deadline=None)
+    def test_replicas_never_land_in_home_cluster(self, g, m):
+        ii = max(4, rec_mii(g), mii(g, m))
+        part = initial_partition(g, m, ii)
+        plan = replicate(part, m, ii)
+        for uid, clusters in plan.replicas.items():
+            assert part.cluster_of(uid) not in clusters
+
+    @given(ddgs(), machines())
+    @settings(max_examples=30, deadline=None)
+    def test_value_cloning_plans_materialize(self, g, m):
+        """Cloning plans are always placeable and clone only roots."""
+        from repro.core.cloning import clone_values, is_clonable
+        from repro.core.state import ReplicationState
+
+        ii = max(4, rec_mii(g), mii(g, m))
+        part = initial_partition(g, m, ii)
+        plan = clone_values(part, m, ii)
+        state = ReplicationState(part, m, ii)
+        for uid in plan.replicas:
+            assert is_clonable(state, uid)
+        build_placed_graph(g, part, m, plan)

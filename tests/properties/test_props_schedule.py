@@ -1,0 +1,87 @@
+"""Property-based invariants on scheduling and simulation.
+
+Every loop the generator can produce must compile on every paper
+machine, pass the independent verifier, and obey the Texec model — this
+is the end-to-end safety net for the whole pipeline.
+"""
+
+from __future__ import annotations
+
+import random
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.machine.config import parse_config, unified_machine
+from repro.pipeline.driver import Scheme, compile_loop
+from repro.schedule.registers import max_live
+from repro.sim.verifier import verify_kernel
+from repro.sim.vliw import simulate
+from repro.workloads.generator import LoopSpec, generate_loop
+
+_MACHINES = ["2c1b2l64r", "4c1b2l64r", "4c2b4l64r", "4c2b2l64r"]
+
+
+@st.composite
+def workload_loops(draw):
+    """Loops drawn from the synthetic-workload generative model."""
+    seed = draw(st.integers(0, 10_000))
+    spec = LoopSpec(
+        name="prop",
+        n_streams=draw(st.integers(2, 5)),
+        stream_depth=(1, draw(st.integers(2, 4))),
+        shared_values=draw(st.integers(1, 5)),
+        shared_fanout=(1, draw(st.integers(1, 4))),
+        cross_link_prob=draw(st.floats(0.0, 0.3)),
+        recurrence_prob=draw(st.floats(0.0, 0.4)),
+        trip_range=(2, 50),
+        visit_range=(1, 50),
+    )
+    return generate_loop(spec, random.Random(seed))
+
+
+class TestEndToEndProperties:
+    @given(workload_loops(), st.sampled_from(_MACHINES))
+    @settings(max_examples=25, deadline=None)
+    def test_every_loop_compiles_and_verifies(self, loop, name):
+        machine = parse_config(name)
+        for scheme in (Scheme.BASELINE, Scheme.REPLICATION):
+            result = compile_loop(loop.ddg, machine, scheme=scheme)
+            verify_kernel(result.kernel)
+            assert result.ii >= result.mii
+
+    @given(workload_loops(), st.sampled_from(_MACHINES))
+    @settings(max_examples=25, deadline=None)
+    def test_replication_dominates_baseline_ii(self, loop, name):
+        machine = parse_config(name)
+        base = compile_loop(loop.ddg, machine, scheme=Scheme.BASELINE)
+        repl = compile_loop(loop.ddg, machine, scheme=Scheme.REPLICATION)
+        assert repl.ii <= base.ii
+
+    @given(workload_loops(), st.sampled_from(_MACHINES))
+    @settings(max_examples=20, deadline=None)
+    def test_simulation_matches_texec_model(self, loop, name):
+        machine = parse_config(name)
+        result = compile_loop(loop.ddg, machine, scheme=Scheme.REPLICATION)
+        sim = simulate(result.kernel, loop.iterations)
+        k = result.kernel
+        assert sim.cycles == (loop.iterations - 1 + k.stage_count) * k.ii
+        assert sim.useful_ops == len(loop.ddg) * loop.iterations
+
+    @given(workload_loops())
+    @settings(max_examples=20, deadline=None)
+    def test_unified_machine_bounds_clustered_ii(self, loop):
+        """The unified machine is at least as fast (lower or equal II)."""
+        uni = compile_loop(loop.ddg, unified_machine(), scheme=Scheme.BASELINE)
+        clustered = compile_loop(
+            loop.ddg, parse_config("4c1b2l64r"), scheme=Scheme.BASELINE
+        )
+        assert uni.ii <= clustered.ii
+
+    @given(workload_loops(), st.sampled_from(_MACHINES))
+    @settings(max_examples=20, deadline=None)
+    def test_register_pressure_within_files(self, loop, name):
+        machine = parse_config(name)
+        result = compile_loop(loop.ddg, machine, scheme=Scheme.REPLICATION)
+        for cluster, pressure in enumerate(max_live(result.kernel)):
+            assert pressure <= machine.registers(cluster)

@@ -1,0 +1,88 @@
+"""Property-based invariants on graph transformations.
+
+Unrolling and serialization are semantic-preserving transformations;
+these properties pin down what "preserving" means for each.
+"""
+
+from __future__ import annotations
+
+import random
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.unroll import unroll_ddg
+from repro.ddg import io as ddg_io
+from repro.ddg.analysis import rec_mii
+from repro.machine.config import parse_config
+from repro.pipeline.driver import Scheme, compile_loop
+from repro.sim.verifier import verify_kernel
+from repro.workloads.generator import LoopSpec, generate_loop
+
+
+@st.composite
+def workload_loops(draw):
+    seed = draw(st.integers(0, 10_000))
+    spec = LoopSpec(
+        name="tx",
+        n_streams=draw(st.integers(2, 4)),
+        stream_depth=(1, draw(st.integers(2, 3))),
+        shared_values=draw(st.integers(1, 3)),
+        shared_fanout=(1, draw(st.integers(1, 3))),
+        cross_link_prob=draw(st.floats(0.0, 0.25)),
+        recurrence_prob=draw(st.floats(0.0, 0.4)),
+        trip_range=(2, 30),
+        visit_range=(1, 30),
+    )
+    return generate_loop(spec, random.Random(seed))
+
+
+class TestUnrollProperties:
+    @given(workload_loops(), st.integers(2, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_structure_scales(self, loop, factor):
+        unrolled = unroll_ddg(loop.ddg, factor)
+        assert len(unrolled) == factor * len(loop.ddg)
+        assert unrolled.n_edges() == factor * loop.ddg.n_edges()
+
+    @given(workload_loops(), st.integers(2, 3))
+    @settings(max_examples=25, deadline=None)
+    def test_recmii_scales_at_most_linearly(self, loop, factor):
+        """U iterations per unrolled iteration: the recurrence bound
+        scales by exactly U in cycle terms (ceil rounding aside)."""
+        original = rec_mii(loop.ddg)
+        unrolled = rec_mii(unroll_ddg(loop.ddg, factor))
+        assert unrolled <= factor * original
+        assert unrolled >= factor * (original - 1)
+
+    @given(workload_loops())
+    @settings(max_examples=10, deadline=None)
+    def test_unrolled_loops_compile(self, loop):
+        machine = parse_config("2c1b2l64r")
+        result = compile_loop(
+            unroll_ddg(loop.ddg, 2), machine, scheme=Scheme.BASELINE
+        )
+        verify_kernel(result.kernel)
+
+
+class TestSerializationProperties:
+    @given(workload_loops())
+    @settings(max_examples=30, deadline=None)
+    def test_round_trip_preserves_structure(self, loop):
+        restored = ddg_io.loads(ddg_io.dumps(loop.ddg))
+        assert len(restored) == len(loop.ddg)
+        assert restored.n_edges() == loop.ddg.n_edges()
+        assert rec_mii(restored) == rec_mii(loop.ddg)
+
+    @given(workload_loops())
+    @settings(max_examples=15, deadline=None)
+    def test_round_trip_compiles_identically(self, loop):
+        machine = parse_config("4c1b2l64r")
+        original = compile_loop(loop.ddg, machine, scheme=Scheme.REPLICATION)
+        restored = compile_loop(
+            ddg_io.loads(ddg_io.dumps(loop.ddg)),
+            machine,
+            scheme=Scheme.REPLICATION,
+        )
+        assert restored.ii == original.ii
+        assert restored.kernel.length == original.kernel.length

@@ -1,0 +1,58 @@
+"""Kernel accounting: length, stage count, Texec, op classes."""
+
+import pytest
+
+from repro.core.plan import EMPTY_PLAN
+from repro.machine.config import unified_machine, parse_config
+from repro.partition.partition import Partition
+from repro.partition.multilevel import initial_partition
+from repro.schedule.placed import build_placed_graph
+from repro.schedule.scheduler import schedule
+from repro.workloads.patterns import daxpy, stencil5
+
+
+@pytest.fixture
+def chain_kernel(chain_ddg):
+    m = unified_machine()
+    part = Partition(chain_ddg, {u: 0 for u in chain_ddg.node_ids()}, 1)
+    graph = build_placed_graph(chain_ddg, part, m, EMPTY_PLAN)
+    return schedule(graph, m, ii=2)
+
+
+class TestKernelAccounting:
+    def test_stage_count_formula(self, chain_kernel):
+        import math
+
+        k = chain_kernel
+        assert k.stage_count == math.ceil(k.length / k.ii)
+
+    def test_execution_cycles_paper_formula(self, chain_kernel):
+        k = chain_kernel
+        for n in (1, 4, 100):
+            assert k.execution_cycles(n) == (n - 1 + k.stage_count) * k.ii
+        assert k.execution_cycles(0) == 0
+
+    def test_modulo_slot(self, chain_kernel):
+        k = chain_kernel
+        for iid, op in k.ops.items():
+            assert k.modulo_slot(iid) == op.start % k.ii
+
+    def test_op_role_counters(self):
+        m = parse_config("2c1b2l64r")
+        ddg = stencil5()
+        part = initial_partition(ddg, m, 6)
+        graph = build_placed_graph(ddg, part, m, EMPTY_PLAN)
+        kernel = schedule(graph, m, ii=6)
+        assert kernel.n_original_ops() == len(ddg)
+        assert kernel.n_replica_ops() == 0
+        assert kernel.n_copy_ops() == part.nof_coms()
+
+    def test_rows_render(self, chain_kernel):
+        rows = chain_kernel.rows()
+        assert len(rows) == 3
+        assert any("load" in r for r in rows)
+
+    def test_length_includes_final_latency(self, chain_kernel):
+        k = chain_kernel
+        last = max(op.start for op in k.ops.values())
+        assert k.length > last

@@ -1,0 +1,54 @@
+"""Kernel latency-override accounting (section 5.1 plumbing)."""
+
+import pytest
+
+from repro.core.plan import EMPTY_PLAN
+from repro.ddg.builder import DdgBuilder
+from repro.machine.config import parse_config
+from repro.partition.partition import Partition
+from repro.schedule.placed import build_placed_graph
+from repro.schedule.scheduler import schedule
+
+
+@pytest.fixture
+def split_kernel_pair():
+    """The same cross-cluster pair scheduled normally and at latency 0."""
+    m = parse_config("2c1b2l64r")
+    b = DdgBuilder()
+    b.int_op("p").fp_op("c")
+    b.dep("p", "c")
+    g = b.build()
+    part = Partition(
+        g, {g.node_by_name("p").uid: 0, g.node_by_name("c").uid: 1}, 2
+    )
+
+    def make(override):
+        graph = build_placed_graph(g, part, m, EMPTY_PLAN)
+        return schedule(graph, m, ii=2, copy_latency_override=override)
+
+    return make(None), make(0)
+
+
+class TestEffectiveLatency:
+    def test_override_recorded(self, split_kernel_pair):
+        normal, bound = split_kernel_pair
+        assert normal.copy_latency_override is None
+        assert bound.copy_latency_override == 0
+
+    def test_copy_latency_respected_in_length(self, split_kernel_pair):
+        normal, bound = split_kernel_pair
+        assert bound.length == normal.length - normal.machine.bus.latency
+
+    def test_effective_latency_only_touches_copies(self, split_kernel_pair):
+        _, bound = split_kernel_pair
+        for op in bound.ops.values():
+            if op.instance.is_copy:
+                assert bound.effective_latency(op) == 0
+            else:
+                assert bound.effective_latency(op) == (
+                    bound.machine.latency_of(op.instance.op_class)
+                )
+
+    def test_execution_cycles_shrink_with_override(self, split_kernel_pair):
+        normal, bound = split_kernel_pair
+        assert bound.execution_cycles(10) <= normal.execution_cycles(10)

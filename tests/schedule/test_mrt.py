@@ -1,0 +1,110 @@
+"""Modulo reservation tables."""
+
+import pytest
+
+from repro.machine.config import parse_config
+from repro.machine.resources import FuKind
+from repro.schedule.mrt import ModuloReservationTable, MrtError
+
+
+@pytest.fixture
+def m4():
+    return parse_config("4c1b2l64r")  # 1 unit per kind, 1 bus latency 2
+
+
+class TestFunctionalUnits:
+    def test_slot_fills_up(self, m4):
+        mrt = ModuloReservationTable(m4, ii=3)
+        assert mrt.fu_free(0, FuKind.INT, 0)
+        mrt.reserve_fu(0, FuKind.INT, 0)
+        assert not mrt.fu_free(0, FuKind.INT, 0)
+        assert mrt.fu_free(0, FuKind.INT, 1)
+
+    def test_modulo_wrapping(self, m4):
+        mrt = ModuloReservationTable(m4, ii=3)
+        mrt.reserve_fu(0, FuKind.INT, 1)
+        assert not mrt.fu_free(0, FuKind.INT, 4)  # 4 % 3 == 1
+        assert not mrt.fu_free(0, FuKind.INT, -2)  # -2 % 3 == 1
+
+    def test_clusters_independent(self, m4):
+        mrt = ModuloReservationTable(m4, ii=2)
+        mrt.reserve_fu(0, FuKind.FP, 0)
+        assert mrt.fu_free(1, FuKind.FP, 0)
+
+    def test_kinds_independent(self, m4):
+        mrt = ModuloReservationTable(m4, ii=2)
+        mrt.reserve_fu(0, FuKind.INT, 0)
+        assert mrt.fu_free(0, FuKind.MEM, 0)
+
+    def test_overbooking_raises(self, m4):
+        mrt = ModuloReservationTable(m4, ii=2)
+        mrt.reserve_fu(0, FuKind.INT, 0)
+        with pytest.raises(MrtError):
+            mrt.reserve_fu(0, FuKind.INT, 0)
+
+    def test_multi_unit_cluster(self):
+        m2 = parse_config("2c1b2l64r")  # 2 units per kind
+        mrt = ModuloReservationTable(m2, ii=1)
+        mrt.reserve_fu(0, FuKind.INT, 0)
+        assert mrt.fu_free(0, FuKind.INT, 0)
+        mrt.reserve_fu(0, FuKind.INT, 0)
+        assert not mrt.fu_free(0, FuKind.INT, 0)
+
+    def test_usage_counter(self, m4):
+        mrt = ModuloReservationTable(m4, ii=4)
+        mrt.reserve_fu(0, FuKind.INT, 0)
+        mrt.reserve_fu(0, FuKind.INT, 2)
+        assert mrt.fu_usage(0, FuKind.INT) == 2
+
+
+class TestBuses:
+    def test_transfer_occupies_latency_slots(self, m4):
+        mrt = ModuloReservationTable(m4, ii=4)
+        mrt.reserve_bus(0)  # occupies slots 0 and 1 (latency 2)
+        assert not mrt.bus_free(1)
+        assert mrt.bus_free(2)
+
+    def test_wrap_around_occupancy(self, m4):
+        mrt = ModuloReservationTable(m4, ii=4)
+        mrt.reserve_bus(3)  # slots 3 and 0
+        assert not mrt.bus_free(0)
+        assert not mrt.bus_free(3)
+        assert mrt.bus_free(1)
+
+    def test_capacity_matches_paper_formula(self, m4):
+        # II=4, latency 2, 1 bus -> exactly 2 transfers fit.
+        mrt = ModuloReservationTable(m4, ii=4)
+        mrt.reserve_bus(0)
+        mrt.reserve_bus(2)
+        for cycle in range(4):
+            assert not mrt.bus_free(cycle)
+
+    def test_two_buses_double_capacity(self):
+        m = parse_config("4c2b2l64r")
+        mrt = ModuloReservationTable(m, ii=2)
+        mrt.reserve_bus(0)
+        mrt.reserve_bus(0)  # second bus
+        assert not mrt.bus_free(0)
+
+    def test_latency_longer_than_ii_unschedulable(self):
+        m = parse_config("4c2b4l64r")  # latency 4
+        mrt = ModuloReservationTable(m, ii=3)
+        assert not mrt.bus_free(0)
+        with pytest.raises(MrtError):
+            mrt.reserve_bus(0)
+
+    def test_latency_equal_to_ii(self):
+        m = parse_config("4c2b4l64r")
+        mrt = ModuloReservationTable(m, ii=4)
+        mrt.reserve_bus(1)  # fills one bus entirely
+        mrt.reserve_bus(0)  # second bus
+        with pytest.raises(MrtError):
+            mrt.reserve_bus(2)
+
+    def test_bus_indices_returned(self, m4):
+        mrt = ModuloReservationTable(m4, ii=4)
+        assert mrt.reserve_bus(0) == 0
+
+    def test_invalid_ii_rejected(self, m4):
+        with pytest.raises(MrtError):
+            ModuloReservationTable(m4, ii=0)

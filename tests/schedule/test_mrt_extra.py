@@ -1,0 +1,54 @@
+"""MRT release paths and transfer accounting (backtracking support)."""
+
+import pytest
+
+from repro.machine.config import parse_config
+from repro.machine.resources import FuKind
+from repro.schedule.mrt import ModuloReservationTable, MrtError
+
+
+@pytest.fixture
+def m4():
+    return parse_config("4c1b2l64r")
+
+
+class TestReleaseFu:
+    def test_release_reopens_slot(self, m4):
+        mrt = ModuloReservationTable(m4, ii=2)
+        mrt.reserve_fu(0, FuKind.INT, 1)
+        assert not mrt.fu_free(0, FuKind.INT, 1)
+        mrt.release_fu(0, FuKind.INT, 1)
+        assert mrt.fu_free(0, FuKind.INT, 1)
+
+    def test_release_uses_modulo_slot(self, m4):
+        mrt = ModuloReservationTable(m4, ii=3)
+        mrt.reserve_fu(0, FuKind.FP, 4)  # slot 1
+        mrt.release_fu(0, FuKind.FP, 1)
+        assert mrt.fu_free(0, FuKind.FP, 4)
+
+    def test_unreserved_release_raises(self, m4):
+        mrt = ModuloReservationTable(m4, ii=2)
+        with pytest.raises(MrtError):
+            mrt.release_fu(0, FuKind.INT, 0)
+
+
+class TestReleaseBus:
+    def test_release_frees_all_latency_slots(self, m4):
+        mrt = ModuloReservationTable(m4, ii=4)
+        bus = mrt.reserve_bus(1)  # slots 1 and 2
+        mrt.release_bus(bus, 1)
+        assert mrt.bus_free(1)
+        assert mrt.bus_free(2)
+
+    def test_unreserved_release_raises(self, m4):
+        mrt = ModuloReservationTable(m4, ii=4)
+        with pytest.raises(MrtError):
+            mrt.release_bus(0, 0)
+
+    def test_transfer_count(self, m4):
+        mrt = ModuloReservationTable(m4, ii=4)
+        assert mrt.bus_transfers() == 0
+        mrt.reserve_bus(0)
+        assert mrt.bus_transfers() == 1
+        mrt.reserve_bus(2)
+        assert mrt.bus_transfers() == 2

@@ -1,0 +1,102 @@
+"""Modulo variable expansion and code size."""
+
+import pytest
+
+from repro.core.plan import EMPTY_PLAN
+from repro.ddg.builder import DdgBuilder
+from repro.machine.config import unified_machine
+from repro.machine.resources import OpClass
+from repro.partition.partition import Partition
+from repro.schedule.mve import code_size, mve_unroll_factor, value_lifetimes
+from repro.schedule.placed import build_placed_graph
+from repro.schedule.scheduler import schedule
+
+
+def kernel_for(ddg, ii):
+    m = unified_machine()
+    part = Partition(ddg, {u: 0 for u in ddg.node_ids()}, 1)
+    graph = build_placed_graph(ddg, part, m, EMPTY_PLAN)
+    return schedule(graph, m, ii, check_registers=False)
+
+
+@pytest.fixture
+def long_lived():
+    """A div result consumed late: lifetime far beyond small IIs."""
+    b = DdgBuilder()
+    b.int_op("p")
+    b.op("d", OpClass.FP_DIV)  # latency 18
+    b.dep("p", "d")
+    b.fp_op("a").fp_op("bb").fp_op("c")
+    b.chain("d", "a", "bb", "c")
+    b.fp_op("late")
+    b.dep("d", "late").dep("c", "late")
+    return b.build()
+
+
+class TestLifetimes:
+    def test_chain_lifetimes_are_gaps(self, chain_ddg):
+        kernel = kernel_for(chain_ddg, ii=3)
+        lifetimes = value_lifetimes(kernel)
+        # Back-to-back chain: every value read the cycle it is ready.
+        assert all(v == 0 for v in lifetimes.values())
+
+    def test_store_has_no_lifetime_entry(self, chain_ddg):
+        kernel = kernel_for(chain_ddg, ii=3)
+        store_iids = {
+            i.iid
+            for i in kernel.graph.instances()
+            if i.op_class is OpClass.STORE
+        }
+        assert store_iids.isdisjoint(value_lifetimes(kernel))
+
+    def test_loop_carried_read_matches_definition(self):
+        b = DdgBuilder()
+        b.int_op("v").int_op("user")
+        b.dep("v", "user", distance=3)
+        g = b.build()
+        kernel = kernel_for(g, ii=2)
+        lifetimes = value_lifetimes(kernel)
+        v = next(i.iid for i in kernel.graph.instances() if i.name == "v")
+        user = next(
+            i.iid for i in kernel.graph.instances() if i.name == "user"
+        )
+        t_def = kernel.start_of(v) + kernel.effective_latency(kernel.ops[v])
+        t_read = kernel.start_of(user) + 3 * kernel.ii
+        assert lifetimes[v] == max(0, t_read - t_def)
+
+
+class TestMve:
+    def test_tight_chain_needs_no_expansion(self, chain_ddg):
+        assert mve_unroll_factor(kernel_for(chain_ddg, ii=3)) == 1
+
+    def test_long_lifetime_forces_expansion(self, long_lived):
+        kernel = kernel_for(long_lived, ii=2)
+        assert mve_unroll_factor(kernel) > 1
+
+    def test_larger_ii_reduces_expansion(self, long_lived):
+        tight = mve_unroll_factor(kernel_for(long_lived, ii=2))
+        loose = mve_unroll_factor(kernel_for(long_lived, ii=12))
+        assert loose <= tight
+
+
+class TestCodeSize:
+    def test_rotating_registers_keep_kernel_at_ii(self, long_lived):
+        kernel = kernel_for(long_lived, ii=4)
+        size = code_size(kernel, rotating_registers=True)
+        assert size.kernel_words == 4
+        assert size.mve_factor == 1
+
+    def test_mve_multiplies_kernel(self, long_lived):
+        kernel = kernel_for(long_lived, ii=4)
+        size = code_size(kernel, rotating_registers=False)
+        assert size.kernel_words == 4 * size.mve_factor
+        assert size.mve_factor == mve_unroll_factor(kernel)
+
+    def test_prolog_epilog_from_stage_count(self, chain_ddg):
+        kernel = kernel_for(chain_ddg, ii=3)
+        size = code_size(kernel)
+        assert size.prolog_words == (kernel.stage_count - 1) * 3
+        assert size.epilog_words == size.prolog_words
+        assert size.total_words == (
+            size.kernel_words + 2 * size.prolog_words
+        )

@@ -1,0 +1,91 @@
+"""Scheduling order: one-sided-window guarantee and analysis."""
+
+import pytest
+
+from repro.core.plan import EMPTY_PLAN
+from repro.ddg.builder import DdgBuilder
+from repro.machine.config import parse_config, unified_machine
+from repro.partition.partition import Partition
+from repro.partition.multilevel import initial_partition
+from repro.schedule.order import compute_order, placed_analysis
+from repro.schedule.placed import build_placed_graph
+from repro.workloads.specfp import benchmark_loops
+
+
+def placed_for(ddg, machine, ii):
+    if machine.is_clustered:
+        part = initial_partition(ddg, machine, ii)
+    else:
+        part = Partition(ddg, {u: 0 for u in ddg.node_ids()}, 1)
+    return build_placed_graph(ddg, part, machine, EMPTY_PLAN)
+
+
+def scc_of(graph):
+    from repro.ddg.analysis import tarjan_scc
+
+    ids = [i.iid for i in graph.instances()]
+    comps = tarjan_scc(ids, lambda u: [e.dst for e in graph.out_edges(u)])
+    member = {}
+    for idx, comp in enumerate(comps):
+        for iid in comp:
+            member[iid] = idx
+    return member
+
+
+class TestOneSidedGuarantee:
+    @pytest.mark.parametrize("bench", ["tomcatv", "fpppp", "applu"])
+    def test_placed_neighbours_are_predecessors_or_same_scc(self, bench):
+        from repro.ddg.analysis import rec_mii
+
+        machine = parse_config("4c1b2l64r")
+        for loop in benchmark_loops(bench, limit=3):
+            ii = max(8, rec_mii(loop.ddg))
+            graph = placed_for(loop.ddg, machine, ii)
+            order = compute_order(graph, machine, ii)
+            member = scc_of(graph)
+            seen = set()
+            for inst in order:
+                for edge in graph.out_edges(inst.iid):
+                    if edge.dst in seen:
+                        # a successor placed earlier must share the SCC
+                        assert member[edge.dst] == member[inst.iid]
+                seen.add(inst.iid)
+
+    def test_order_covers_every_instance_once(self):
+        machine = parse_config("2c1b2l64r")
+        loop = benchmark_loops("swim", limit=1)[0]
+        graph = placed_for(loop.ddg, machine, 6)
+        order = compute_order(graph, machine, 6)
+        assert sorted(i.iid for i in order) == sorted(
+            i.iid for i in graph.instances()
+        )
+
+
+class TestPlacedAnalysis:
+    def test_chain_asap(self, chain_ddg):
+        m = unified_machine()
+        graph = placed_for(chain_ddg, m, 1)
+        analysis = placed_analysis(graph, m, 1)
+        times = sorted(analysis.asap.values())
+        assert times == [0, 2, 5]  # load(2) then add(3) then store
+        assert analysis.length == 7
+
+    def test_copy_latency_override_shrinks_length(self):
+        m = parse_config("2c1b2l64r")
+        b = DdgBuilder()
+        b.int_op("p").fp_op("c")
+        b.dep("p", "c")
+        g = b.build()
+        part = Partition(
+            g, {g.node_by_name("p").uid: 0, g.node_by_name("c").uid: 1}, 2
+        )
+        graph = build_placed_graph(g, part, m, EMPTY_PLAN)
+        normal = placed_analysis(graph, m, 2)
+        bound = placed_analysis(graph, m, 2, copy_latency_override=0)
+        assert bound.length == normal.length - m.bus.latency
+
+    def test_slack_zero_on_critical_path(self, chain_ddg):
+        m = unified_machine()
+        graph = placed_for(chain_ddg, m, 1)
+        analysis = placed_analysis(graph, m, 1)
+        assert all(analysis.slack(i.iid) == 0 for i in graph.instances())

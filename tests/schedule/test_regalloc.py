@@ -1,0 +1,131 @@
+"""Register allocation on modulo-scheduled kernels."""
+
+import pytest
+
+from repro.core.plan import EMPTY_PLAN
+from repro.core.replicator import replicate
+from repro.ddg.builder import DdgBuilder
+from repro.machine.config import parse_config, unified_machine
+from repro.partition.partition import Partition
+from repro.partition.multilevel import initial_partition
+from repro.schedule.placed import build_placed_graph
+from repro.schedule.regalloc import (
+    AllocationError,
+    allocate,
+    allocate_cluster,
+    verify_allocation,
+)
+from repro.schedule.registers import max_live
+from repro.schedule.scheduler import schedule
+from repro.workloads.patterns import daxpy, dot_product, stencil5
+from repro.workloads.specfp import benchmark_loops
+
+
+def kernel_for(ddg, machine, ii, with_replication=False):
+    if machine.is_clustered:
+        part = initial_partition(ddg, machine, ii)
+    else:
+        part = Partition(ddg, {u: 0 for u in ddg.node_ids()}, 1)
+    plan = replicate(part, machine, ii) if with_replication else EMPTY_PLAN
+    graph = build_placed_graph(ddg, part, machine, plan)
+    return schedule(graph, machine, ii)
+
+
+class TestAllocate:
+    @pytest.mark.parametrize("make,ii", [(daxpy, 4), (stencil5, 6), (dot_product, 4)])
+    def test_patterns_allocate_and_verify(self, make, ii):
+        machine = parse_config("2c1b2l64r")
+        kernel = kernel_for(make(), machine, ii, with_replication=True)
+        for allocation in allocate(kernel):
+            verify_allocation(kernel, allocation)
+            assert allocation.registers_used <= machine.registers(
+                allocation.cluster
+            )
+
+    def test_suite_loops_allocate(self):
+        from repro.ddg.analysis import rec_mii
+
+        machine = parse_config("4c1b2l64r")
+        for loop in benchmark_loops("hydro2d", limit=4):
+            ii = max(8, rec_mii(loop.ddg))
+            kernel = kernel_for(loop.ddg, machine, ii, with_replication=True)
+            for allocation in allocate(kernel):
+                verify_allocation(kernel, allocation)
+
+    def test_usage_at_least_maxlive_floor(self):
+        """First-fit can exceed but never undershoot true demand.
+
+        MaxLive is itself an estimate; the sanity bound here is loose:
+        the allocator must use at least one register when values exist.
+        """
+        machine = parse_config("2c1b2l64r")
+        kernel = kernel_for(stencil5(), machine, 6)
+        pressures = max_live(kernel)
+        for allocation in allocate(kernel):
+            if pressures[allocation.cluster]:
+                assert allocation.registers_used >= 1
+
+    def test_every_value_iteration_class_assigned(self):
+        machine = unified_machine()
+        kernel = kernel_for(dot_product(), machine, 3)
+        (allocation,) = allocate(kernel)
+        unroll = allocation.ring // kernel.ii
+        values = {p for (p, _k) in allocation.assignment}
+        for producer in values:
+            classes = {
+                k for (p, k) in allocation.assignment if p == producer
+            }
+            assert classes == set(range(unroll))
+
+    def test_strict_overflow_raises(self):
+        machine = parse_config("2c1b2l2r")  # 2 registers per cluster
+        b = DdgBuilder()
+        b.int_op("root")
+        for i in range(5):
+            b.int_op(f"v{i}")
+            b.dep("root", f"v{i}")
+        b.fp_op("sink")
+        for i in range(5):
+            b.dep(f"v{i}", "sink")
+        g = b.build()
+        part = Partition(g, {u: 0 for u in g.node_ids()}, 2)
+        graph = build_placed_graph(g, part, machine, EMPTY_PLAN)
+        kernel = schedule(graph, machine, 7, check_registers=False)
+        with pytest.raises(AllocationError):
+            allocate(kernel)
+        relaxed = allocate(kernel, strict=False)
+        assert relaxed[0].registers_used > 2
+
+    def test_verify_catches_tampering(self):
+        machine = unified_machine()
+        kernel = kernel_for(stencil5(), machine, 3)
+        (allocation,) = allocate(kernel)
+        keys = [
+            k for k in allocation.assignment
+        ]
+        if len(keys) >= 2:
+            # Map two overlapping arcs onto one register.
+            a, b = keys[0], keys[1]
+            allocation.assignment[b] = allocation.assignment[a]
+            with pytest.raises(AllocationError):
+                verify_allocation(kernel, allocation)
+
+
+class TestLongLifetimes:
+    def test_mve_ring_expands_for_long_values(self):
+        from repro.machine.resources import OpClass
+
+        b = DdgBuilder()
+        b.int_op("p")
+        b.op("d", OpClass.FP_DIV)
+        b.dep("p", "d")
+        b.fp_op("late")
+        b.dep("d", "late").dep("p", "late")
+        g = b.build()
+        machine = unified_machine()
+        part = Partition(g, {u: 0 for u in g.node_ids()}, 1)
+        graph = build_placed_graph(g, part, machine, EMPTY_PLAN)
+        kernel = schedule(graph, machine, 2, check_registers=False)
+        (allocation,) = allocate(kernel, strict=False)
+        assert allocation.ring > kernel.ii
+        verify_allocation(kernel, allocation)

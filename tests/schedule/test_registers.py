@@ -1,0 +1,75 @@
+"""Register pressure estimation."""
+
+import pytest
+
+from repro.core.plan import EMPTY_PLAN
+from repro.ddg.builder import DdgBuilder
+from repro.machine.config import parse_config, unified_machine
+from repro.machine.resources import OpClass
+from repro.partition.partition import Partition
+from repro.schedule.placed import build_placed_graph
+from repro.schedule.registers import fits_registers, max_live
+from repro.schedule.scheduler import schedule
+
+
+def kernel_for(ddg, machine, ii, mapping=None, check_registers=False):
+    if mapping is None:
+        part = Partition(ddg, {u: 0 for u in ddg.node_ids()}, machine.n_clusters)
+    else:
+        part = Partition(
+            ddg,
+            {ddg.node_by_name(k).uid: v for k, v in mapping.items()},
+            machine.n_clusters,
+        )
+    graph = build_placed_graph(ddg, part, machine, EMPTY_PLAN)
+    return schedule(graph, machine, ii, check_registers=check_registers)
+
+
+class TestMaxLive:
+    def test_chain_needs_few_registers(self, chain_ddg):
+        m = unified_machine()
+        kernel = kernel_for(chain_ddg, m, ii=3)
+        (pressure,) = max_live(kernel)
+        assert 1 <= pressure <= 3
+
+    def test_long_lifetimes_cost_more_at_small_ii(self):
+        """A value alive across k windows costs ~k registers."""
+        b = DdgBuilder()
+        b.int_op("p")
+        b.op("d", OpClass.FP_DIV)  # latency 18
+        b.dep("p", "d")
+        b.fp_op("sink")
+        b.dep("d", "sink").dep("p", "sink")
+        g = b.build()
+        m = unified_machine()
+        small = kernel_for(g, m, ii=2)
+        large = kernel_for(g, m, ii=12)
+        assert max_live(small)[0] > max_live(large)[0]
+
+    def test_stores_produce_no_value(self):
+        b = DdgBuilder()
+        b.int_op("a").store("st")
+        b.dep("a", "st")
+        g = b.build()
+        m = unified_machine()
+        kernel = kernel_for(g, m, ii=1)
+        (pressure,) = max_live(kernel)
+        assert pressure == 1  # only a's value
+
+    def test_cross_cluster_value_charged_in_consumer_cluster(self):
+        m = parse_config("2c1b2l64r")
+        b = DdgBuilder()
+        b.int_op("p").fp_op("c")
+        b.dep("p", "c")
+        g = b.build()
+        kernel = kernel_for(g, m, ii=2, mapping={"p": 0, "c": 1})
+        pressure = max_live(kernel)
+        assert pressure[0] >= 1  # p's value feeding the bus
+        assert pressure[1] >= 1  # the broadcast value landing in c's cluster
+
+    def test_fits_registers_thresholds(self, chain_ddg):
+        m_big = unified_machine(registers=64)
+        assert fits_registers(kernel_for(chain_ddg, m_big, ii=3))
+        m_tiny = unified_machine(registers=1)
+        kernel = kernel_for(chain_ddg, m_tiny, ii=3)
+        assert not fits_registers(kernel)

@@ -1,0 +1,157 @@
+"""The cluster-aware modulo scheduler."""
+
+import pytest
+
+from repro.core.plan import EMPTY_PLAN
+from repro.ddg.builder import DdgBuilder
+from repro.machine.config import parse_config, unified_machine
+from repro.partition.partition import Partition
+from repro.partition.multilevel import initial_partition
+from repro.schedule.placed import build_placed_graph
+from repro.schedule.scheduler import FailureCause, ScheduleFailure, schedule
+from repro.sim.verifier import verify_kernel
+from repro.workloads.patterns import daxpy, dot_product, stencil5
+
+
+@pytest.fixture
+def m2():
+    return parse_config("2c1b2l64r")
+
+
+@pytest.fixture
+def m4():
+    return parse_config("4c1b2l64r")
+
+
+def placed(ddg, machine, ii):
+    part = initial_partition(ddg, machine, ii)
+    return build_placed_graph(ddg, part, machine, EMPTY_PLAN)
+
+
+class TestBasicScheduling:
+    def test_chain_scheduled_back_to_back(self, chain_ddg):
+        m = unified_machine()
+        part = Partition(chain_ddg, {u: 0 for u in chain_ddg.node_ids()}, 1)
+        graph = build_placed_graph(chain_ddg, part, m, EMPTY_PLAN)
+        kernel = schedule(graph, m, ii=1)
+        # load(2) -> add(3) -> store: length 2+3+2 = 7.
+        assert kernel.length == 7
+        verify_kernel(kernel)
+
+    def test_kernels_verify_on_pattern_loops(self, m2, m4):
+        for machine in (m2, m4):
+            for ddg in (daxpy(), stencil5(), dot_product()):
+                part = initial_partition(ddg, machine, 8)
+                graph = build_placed_graph(ddg, part, machine, EMPTY_PLAN)
+                kernel = schedule(graph, machine, ii=8)
+                verify_kernel(kernel)
+
+    def test_ii_recorded(self, chain_ddg):
+        m = unified_machine()
+        part = Partition(chain_ddg, {u: 0 for u in chain_ddg.node_ids()}, 1)
+        graph = build_placed_graph(chain_ddg, part, m, EMPTY_PLAN)
+        assert schedule(graph, m, ii=3).ii == 3
+
+    def test_schedule_normalized_to_cycle_zero(self, m2):
+        graph = placed(stencil5(), m2, 4)
+        kernel = schedule(graph, m2, ii=4)
+        assert min(op.start for op in kernel.ops.values()) == 0
+
+
+class TestFailures:
+    def test_recurrence_too_tight_raises(self):
+        b = DdgBuilder()
+        b.fp_op("a").fp_op("b")
+        b.dep("a", "b").dep("b", "a", distance=1)  # RecMII = 6
+        g = b.build()
+        m = unified_machine()
+        part = Partition(g, {u: 0 for u in g.node_ids()}, 1)
+        graph = build_placed_graph(g, part, m, EMPTY_PLAN)
+        with pytest.raises(ScheduleFailure) as exc:
+            schedule(graph, m, ii=3)
+        assert exc.value.cause is FailureCause.RECURRENCES
+
+    def test_bus_overflow_raises_bus_cause(self, m4):
+        """More communications than bus slots at this II."""
+        b = DdgBuilder()
+        # Three producers, each consumed remotely: 3 comms, capacity 1 at II=2.
+        for i in range(3):
+            b.int_op(f"p{i}")
+            b.fp_op(f"c{i}")
+            b.dep(f"p{i}", f"c{i}")
+        g = b.build()
+        assignment = {}
+        for i in range(3):
+            assignment[g.node_by_name(f"p{i}").uid] = i
+            assignment[g.node_by_name(f"c{i}").uid] = (i + 1) % 4
+        part = Partition(g, assignment, 4)
+        graph = build_placed_graph(g, part, m4, EMPTY_PLAN)
+        with pytest.raises(ScheduleFailure) as exc:
+            schedule(graph, m4, ii=2)
+        assert exc.value.cause is FailureCause.BUS
+
+    def test_register_pressure_raises(self):
+        """Many long-lived values overflow a tiny register file."""
+        m = parse_config("2c1b2l4r")  # 4 registers per cluster
+        b = DdgBuilder()
+        b.int_op("root")
+        for i in range(10):
+            b.int_op(f"v{i}")
+            b.dep("root", f"v{i}")
+        b.fp_op("sink")
+        for i in range(10):
+            b.dep(f"v{i}", "sink")
+        g = b.build()
+        part = Partition(g, {u: 0 for u in g.node_ids()}, 2)
+        graph = build_placed_graph(g, part, m, EMPTY_PLAN)
+        with pytest.raises(ScheduleFailure) as exc:
+            schedule(graph, m, ii=6)
+        assert exc.value.cause is FailureCause.REGISTERS
+
+    def test_register_check_can_be_disabled(self):
+        m = parse_config("2c1b2l4r")
+        b = DdgBuilder()
+        b.int_op("root")
+        for i in range(10):
+            b.int_op(f"v{i}")
+            b.dep("root", f"v{i}")
+        b.fp_op("sink")
+        for i in range(10):
+            b.dep(f"v{i}", "sink")
+        g = b.build()
+        part = Partition(g, {u: 0 for u in g.node_ids()}, 2)
+        graph = build_placed_graph(g, part, m, EMPTY_PLAN)
+        kernel = schedule(graph, m, ii=6, check_registers=False)
+        assert kernel.ii == 6
+
+
+class TestZeroLatencyMode:
+    def test_override_shortens_length(self, m2):
+        """Section 5.1's bound: copies cost no dependence latency."""
+        b = DdgBuilder()
+        b.int_op("p").fp_op("c")
+        b.dep("p", "c")
+        g = b.build()
+        part = Partition(
+            g, {g.node_by_name("p").uid: 0, g.node_by_name("c").uid: 1}, 2
+        )
+        graph = build_placed_graph(g, part, m2, EMPTY_PLAN)
+        normal = schedule(graph, m2, ii=2)
+        graph2 = build_placed_graph(g, part, m2, EMPTY_PLAN)
+        bound = schedule(graph2, m2, ii=2, copy_latency_override=0)
+        assert bound.length < normal.length
+
+    def test_override_still_occupies_bus(self, m2):
+        b = DdgBuilder()
+        b.int_op("p").fp_op("c")
+        b.dep("p", "c")
+        g = b.build()
+        part = Partition(
+            g, {g.node_by_name("p").uid: 0, g.node_by_name("c").uid: 1}, 2
+        )
+        graph = build_placed_graph(g, part, m2, EMPTY_PLAN)
+        kernel = schedule(graph, m2, ii=2, copy_latency_override=0)
+        (copy_op,) = [
+            op for op in kernel.ops.values() if op.instance.is_copy
+        ]
+        assert copy_op.bus is not None

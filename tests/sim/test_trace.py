@@ -1,0 +1,92 @@
+"""Issue traces and the codegen differential check."""
+
+import pytest
+
+from repro.codegen.program import flat_program
+from repro.core.plan import EMPTY_PLAN
+from repro.core.replicator import replicate
+from repro.machine.config import parse_config
+from repro.partition.multilevel import initial_partition
+from repro.schedule.placed import build_placed_graph
+from repro.schedule.scheduler import schedule
+from repro.sim.trace import format_trace, issue_trace
+from repro.workloads.patterns import daxpy, dot_product, stencil5
+from repro.workloads.specfp import benchmark_loops
+
+
+@pytest.fixture
+def m2():
+    return parse_config("2c1b2l64r")
+
+
+def kernel_for(ddg, machine, ii, with_replication=False):
+    part = initial_partition(ddg, machine, ii)
+    plan = replicate(part, machine, ii) if with_replication else EMPTY_PLAN
+    graph = build_placed_graph(ddg, part, machine, plan)
+    return schedule(graph, machine, ii)
+
+
+class TestIssueTrace:
+    def test_event_count(self, m2):
+        kernel = kernel_for(daxpy(), m2, 4)
+        n = 6
+        assert len(issue_trace(kernel, n)) == len(kernel.ops) * n
+
+    def test_sorted_by_cycle(self, m2):
+        kernel = kernel_for(stencil5(), m2, 6)
+        trace = issue_trace(kernel, 8)
+        cycles = [e.cycle for e in trace]
+        assert cycles == sorted(cycles)
+
+    def test_completion_includes_latency(self, m2):
+        kernel = kernel_for(daxpy(), m2, 4)
+        for event in issue_trace(kernel, 2):
+            assert event.completes >= event.cycle + 1
+
+    def test_negative_iterations_rejected(self, m2):
+        kernel = kernel_for(daxpy(), m2, 4)
+        with pytest.raises(ValueError):
+            issue_trace(kernel, -1)
+
+    @pytest.mark.parametrize("make,ii", [(daxpy, 4), (stencil5, 6), (dot_product, 4)])
+    def test_differential_against_codegen(self, m2, make, ii):
+        """Trace events == flat-program slots, by an independent path."""
+        kernel = kernel_for(make(), m2, ii, with_replication=True)
+        n = kernel.stage_count + 3
+        trace = issue_trace(kernel, n)
+        program = flat_program(kernel, n)
+
+        from_trace = sorted(
+            (e.cycle, e.name, e.cluster, e.iteration) for e in trace
+        )
+        from_program = sorted(
+            (word.cycle, op.name, op.cluster, op.iteration)
+            for word in program.words
+            for op in word.ops
+        )
+        assert from_trace == from_program
+
+    def test_differential_on_suite_loop(self, m2):
+        loop = benchmark_loops("wave5", limit=1)[0]
+        from repro.pipeline.driver import Scheme, compile_loop
+
+        result = compile_loop(loop.ddg, m2, scheme=Scheme.REPLICATION)
+        n = result.kernel.stage_count + 2
+        trace = issue_trace(result.kernel, n)
+        program = flat_program(result.kernel, n)
+        assert len(trace) == program.issue_count()
+
+
+class TestFormat:
+    def test_renders_and_truncates(self, m2):
+        kernel = kernel_for(daxpy(), m2, 4)
+        trace = issue_trace(kernel, 20)
+        text = format_trace(trace, limit=10)
+        assert "more events" in text
+        assert text.count("\n") == 10
+
+    def test_no_limit(self, m2):
+        kernel = kernel_for(daxpy(), m2, 4)
+        trace = issue_trace(kernel, 2)
+        text = format_trace(trace, limit=None)
+        assert text.count("\n") == len(trace) - 1

@@ -1,0 +1,98 @@
+"""Cycle-stepped simulation."""
+
+import pytest
+
+from repro.core.plan import EMPTY_PLAN
+from repro.core.replicator import replicate
+from repro.machine.config import parse_config, unified_machine
+from repro.partition.partition import Partition
+from repro.partition.multilevel import initial_partition
+from repro.schedule.placed import build_placed_graph
+from repro.schedule.scheduler import schedule
+from repro.sim.vliw import simulate
+from repro.workloads.patterns import daxpy, dot_product, stencil5
+
+
+@pytest.fixture
+def m2():
+    return parse_config("2c1b2l64r")
+
+
+def compile_simple(ddg, machine, ii, with_replication=False):
+    if machine.is_clustered:
+        part = initial_partition(ddg, machine, ii)
+    else:
+        part = Partition(ddg, {u: 0 for u in ddg.node_ids()}, 1)
+    plan = replicate(part, machine, ii) if with_replication else EMPTY_PLAN
+    graph = build_placed_graph(ddg, part, machine, plan)
+    return schedule(graph, machine, ii)
+
+
+class TestSimulate:
+    def test_cycles_match_paper_model(self, m2):
+        kernel = compile_simple(stencil5(), m2, 6)
+        result = simulate(kernel, iterations=50)
+        assert result.cycles == (50 - 1 + kernel.stage_count) * kernel.ii
+
+    def test_useful_ops_counts_program_work(self, m2):
+        ddg = stencil5()
+        kernel = compile_simple(ddg, m2, 6)
+        result = simulate(kernel, iterations=10)
+        assert result.useful_ops == len(ddg) * 10
+
+    def test_useful_ops_invariant_under_replication(self, m2):
+        ddg = daxpy()
+        plain = compile_simple(ddg, m2, 4)
+        replicated = compile_simple(ddg, m2, 2, with_replication=True)
+        n = 25
+        assert (
+            simulate(plain, n).useful_ops
+            == simulate(replicated, n).useful_ops
+            == len(ddg) * n
+        )
+
+    def test_issued_total_includes_overhead(self, m2):
+        ddg = daxpy()
+        kernel = compile_simple(ddg, m2, 2, with_replication=True)
+        result = simulate(kernel, 10)
+        overhead = result.issued_replica + result.issued_copies
+        assert result.issued_total == result.issued_original + overhead
+
+    def test_zero_iterations(self, m2):
+        kernel = compile_simple(daxpy(), m2, 4)
+        result = simulate(kernel, 0)
+        assert result.cycles == 0 and result.ipc == 0.0
+
+    def test_single_iteration_costs_schedule_length_rounded(self, m2):
+        kernel = compile_simple(daxpy(), m2, 4)
+        result = simulate(kernel, 1)
+        assert result.cycles == kernel.stage_count * kernel.ii
+
+    def test_negative_iterations_rejected(self, m2):
+        kernel = compile_simple(daxpy(), m2, 4)
+        with pytest.raises(ValueError):
+            simulate(kernel, -1)
+
+    def test_stepping_cap(self, m2):
+        kernel = compile_simple(dot_product(), m2, 4)
+        result = simulate(kernel, 10_000)
+        assert result.stepped_iterations <= 3 * kernel.stage_count + 2
+        assert result.iterations == 10_000
+
+    def test_recurrence_kernels_step_cleanly(self, m2):
+        kernel = compile_simple(dot_product(), m2, 4)
+        result = simulate(kernel, 20, max_stepped_iterations=20)
+        assert result.stepped_iterations == 20
+
+    def test_ipc_bounded_by_issue_width(self, m2):
+        for ddg in (daxpy(), stencil5(), dot_product()):
+            kernel = compile_simple(ddg, m2, 8)
+            result = simulate(kernel, 100)
+            assert 0 < result.ipc <= m2.issue_width
+
+    def test_unified_machine_runs(self):
+        m = unified_machine()
+        kernel = compile_simple(stencil5(), m, 2)
+        result = simulate(kernel, 100)
+        assert result.issued_copies == 0
+        assert result.ipc > 0

@@ -1,0 +1,104 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.ddg import io as ddg_io
+from repro.workloads.patterns import daxpy
+
+
+class TestCompile:
+    def test_compile_pattern(self, capsys):
+        assert main(["compile", "--machine", "2c1b2l64r", "--loop", "daxpy"]) == 0
+        out = capsys.readouterr().out
+        assert "daxpy" in out and "II" in out
+
+    def test_compile_kernel_dump(self, capsys):
+        main(["compile", "--loop", "daxpy", "--kernel"])
+        out = capsys.readouterr().out
+        assert "slot=" in out
+
+    def test_baseline_flag(self, capsys):
+        main(["compile", "--loop", "stencil5", "--no-replication"])
+        out = capsys.readouterr().out
+        assert "[baseline]" in out
+        assert "replicas 0" in out
+
+    def test_compile_json_file(self, capsys, tmp_path):
+        path = tmp_path / "loop.json"
+        ddg_io.save(daxpy(), str(path))
+        assert main(["compile", "--loop", str(path)]) == 0
+        assert "daxpy" in capsys.readouterr().out
+
+
+class TestSimulate:
+    def test_simulate_reports_ipc(self, capsys):
+        main(["simulate", "--loop", "daxpy", "-n", "50"])
+        out = capsys.readouterr().out
+        assert "IPC" in out and "cycles" in out
+
+    def test_unified_machine(self, capsys):
+        main(["simulate", "--machine", "unified", "--loop", "stencil5"])
+        out = capsys.readouterr().out
+        assert "0 copies" in out
+
+
+class TestSuite:
+    def test_single_benchmark(self, capsys):
+        main(["suite", "--benchmark", "mgrid", "--limit", "2"])
+        out = capsys.readouterr().out
+        assert "mgrid" in out and "speedup" in out
+
+
+class TestSchemes:
+    def test_cloning_scheme(self, capsys):
+        main(["compile", "--loop", "daxpy", "--scheme", "cloning"])
+        assert "[value_cloning]" in capsys.readouterr().out
+
+    def test_macro_scheme(self, capsys):
+        main(["compile", "--loop", "stencil5", "--scheme", "macro"])
+        assert "[macro_replication]" in capsys.readouterr().out
+
+    def test_scheme_overrides_no_replication(self, capsys):
+        main(
+            ["compile", "--loop", "daxpy", "--no-replication",
+             "--scheme", "replication"]
+        )
+        assert "[replication]" in capsys.readouterr().out
+
+
+class TestAsm:
+    def test_assembly_emitted(self, capsys):
+        main(["asm", "--loop", "daxpy", "--machine", "2c1b2l64r"])
+        out = capsys.readouterr().out
+        assert "prolog:" in out and "kernel:" in out and "epilog:" in out
+
+
+class TestDot:
+    def test_plain_dot(self, capsys):
+        main(["dot", "--loop", "dot_product"])
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+
+    def test_partitioned_dot(self, capsys):
+        main(["dot", "--loop", "daxpy", "--machine", "2c1b2l64r", "--partition"])
+        out = capsys.readouterr().out
+        assert "subgraph cluster_0" in out
+
+
+class TestSelfCheck:
+    def test_selfcheck_runs_green(self, capsys):
+        assert main(["selfcheck"]) == 0
+        out = capsys.readouterr().out
+        assert "self-check OK" in out
+        assert "verified" in out
+
+
+class TestParser:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_unknown_pattern_is_a_file_path(self):
+        with pytest.raises(FileNotFoundError):
+            main(["compile", "--loop", "no_such_pattern"])

@@ -1,0 +1,171 @@
+"""Cross-cutting edge cases: tiny graphs, degenerate machines, limits."""
+
+import pytest
+
+from repro.codegen.program import flat_program, software_pipeline
+from repro.core.plan import EMPTY_PLAN, ReplicationPlan
+from repro.core.replicator import replicate
+from repro.ddg.builder import DdgBuilder
+from repro.ddg.graph import Ddg
+from repro.machine.config import parse_config, unified_machine
+from repro.partition.multilevel import initial_partition
+from repro.partition.partition import Partition
+from repro.pipeline.driver import Scheme, compile_loop
+from repro.schedule.placed import build_placed_graph
+from repro.schedule.scheduler import schedule
+from repro.sim.verifier import verify_kernel
+from repro.sim.vliw import simulate
+
+
+class TestSingleNodeLoops:
+    def test_single_op_compiles_everywhere(self):
+        for config in ("2c1b2l64r", "4c1b2l64r"):
+            machine = parse_config(config)
+            b = DdgBuilder("one")
+            b.fp_op("only")
+            result = compile_loop(b.build(), machine)
+            assert result.ii == 1
+            assert simulate(result.kernel, 10).useful_ops == 10
+
+    def test_single_recurrence_node(self):
+        machine = parse_config("2c1b2l64r")
+        b = DdgBuilder()
+        b.fp_op("acc")
+        b.dep("acc", "acc", distance=1)
+        result = compile_loop(b.build(), machine)
+        assert result.ii == 3  # FP latency over distance 1
+
+    def test_single_store(self):
+        machine = parse_config("2c1b2l64r")
+        b = DdgBuilder()
+        b.store("st")
+        result = compile_loop(b.build(), machine)
+        verify_kernel(result.kernel)
+
+
+class TestDegenerateStructures:
+    def test_all_independent_ops(self):
+        machine = parse_config("4c1b2l64r")
+        b = DdgBuilder()
+        for i in range(12):
+            b.int_op(f"p{i}")
+        result = compile_loop(b.build(), machine, scheme=Scheme.BASELINE)
+        # 12 INT ops over 4 INT units: II = 3, zero communications.
+        assert result.ii == 3
+        assert result.kernel.n_copy_ops() == 0
+
+    def test_pure_memory_ordering_chain(self):
+        machine = parse_config("2c1b2l64r")
+        b = DdgBuilder()
+        b.store("s0").load("l0").store("s1")
+        b.mem_dep("s0", "l0").mem_dep("l0", "s1")
+        result = compile_loop(b.build(), machine)
+        verify_kernel(result.kernel)
+        assert result.kernel.n_copy_ops() == 0
+
+    def test_wide_fanout_value(self):
+        machine = parse_config("4c1b2l64r")
+        b = DdgBuilder()
+        b.int_op("hub")
+        for i in range(16):
+            b.fp_op(f"leaf{i}")
+            b.dep("hub", f"leaf{i}")
+        result = compile_loop(b.build(), machine, scheme=Scheme.REPLICATION)
+        verify_kernel(result.kernel)
+
+    def test_deep_chain(self):
+        machine = parse_config("2c1b2l64r")
+        b = DdgBuilder()
+        labels = [f"n{i}" for i in range(30)]
+        for label in labels:
+            b.fp_op(label)
+        b.chain(*labels)
+        result = compile_loop(b.build(), machine)
+        assert result.kernel.length >= 30 * 3
+
+
+class TestEmptyAndTrivialInputs:
+    def test_empty_placed_graph_schedules(self):
+        machine = unified_machine()
+        graph = build_placed_graph(
+            Ddg("empty"), Partition(Ddg("empty"), {}, 1), machine, EMPTY_PLAN
+        )
+        kernel = schedule(graph, machine, ii=1)
+        assert kernel.length == 0
+        assert flat_program(kernel, 5).n_cycles == 0
+
+    def test_replicate_on_empty_partition(self):
+        machine = parse_config("2c1b2l64r")
+        g = Ddg("empty")
+        plan = replicate(Partition(g, {}, 2), machine, ii=2)
+        assert plan.is_empty and plan.feasible
+
+
+class TestPlanObject:
+    def test_empty_plan_counters(self):
+        assert EMPTY_PLAN.is_empty
+        assert EMPTY_PLAN.n_replicated_instructions == 0
+        assert EMPTY_PLAN.net_added_instructions == 0
+        assert EMPTY_PLAN.feasible
+
+    def test_plan_counting(self):
+        plan = ReplicationPlan(
+            replicas={1: frozenset({0, 2}), 5: frozenset({3})},
+            removed=frozenset({1}),
+            removed_comms=frozenset({1, 5}),
+            initial_coms=4,
+        )
+        assert plan.n_replicated_instructions == 3
+        assert plan.n_removed_comms == 2
+        assert plan.net_added_instructions == 2
+        assert not plan.is_empty
+
+
+class TestExtremeConfigs:
+    def test_many_buses(self):
+        machine = parse_config("4c8b1l64r")
+        from repro.workloads.patterns import stencil5
+
+        base = compile_loop(stencil5(), machine, scheme=Scheme.BASELINE)
+        repl = compile_loop(stencil5(), machine, scheme=Scheme.REPLICATION)
+        # Communication is nearly free: replication finds nothing to do.
+        assert repl.ii == base.ii
+
+    def test_huge_registers(self):
+        machine = parse_config("2c1b2l4096r")
+        from repro.workloads.patterns import daxpy
+
+        result = compile_loop(daxpy(), machine)
+        verify_kernel(result.kernel)
+
+    def test_latency_one_bus(self):
+        machine = parse_config("2c1b1l64r")
+        from repro.workloads.patterns import daxpy
+
+        result = compile_loop(daxpy(), machine, scheme=Scheme.BASELINE)
+        verify_kernel(result.kernel)
+
+
+class TestCodegenEdges:
+    def test_sc_one_kernel_has_empty_prolog(self):
+        machine = unified_machine()
+        b = DdgBuilder()
+        b.int_op("a")
+        part = Partition(b.build(), {0: 0}, 1)
+        graph = build_placed_graph(part.ddg, part, machine, EMPTY_PLAN)
+        kernel = schedule(graph, machine, ii=1)
+        assert kernel.stage_count == 1
+        pipelined = software_pipeline(kernel)
+        assert pipelined.prolog == ()
+        assert pipelined.epilog == ()
+        assert len(pipelined.kernel) == 1
+
+    def test_partition_of_subset_cluster_usage(self):
+        """A 4-cluster machine may leave clusters empty for tiny loops."""
+        machine = parse_config("4c1b2l64r")
+        b = DdgBuilder()
+        b.int_op("a").fp_op("bb")
+        b.dep("a", "bb")
+        part = initial_partition(b.build(), machine, ii=2)
+        used = {c for c in part.assignment().values()}
+        assert len(used) <= 2

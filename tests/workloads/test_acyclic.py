@@ -1,0 +1,38 @@
+"""Acyclic blocks derived from the loop suite."""
+
+from repro.ddg.analysis import rec_mii
+from repro.workloads.acyclic import acyclic_block, acyclic_blocks
+from repro.workloads.patterns import dot_product
+from repro.workloads.specfp import benchmark_loops
+
+
+class TestAcyclicBlock:
+    def test_loop_carried_edges_dropped(self):
+        g = dot_product()
+        block = acyclic_block(g)
+        assert all(e.distance == 0 for e in block.edges())
+        assert rec_mii(block) == 1
+
+    def test_nodes_preserved(self):
+        g = dot_product()
+        block = acyclic_block(g)
+        assert len(block) == len(g)
+        assert {n.name for n in block.nodes()} == {n.name for n in g.nodes()}
+
+    def test_intra_iteration_edges_preserved(self):
+        g = dot_product()
+        block = acyclic_block(g)
+        original = sum(1 for e in g.edges() if e.distance == 0)
+        assert block.n_edges() == original
+
+    def test_source_untouched(self):
+        g = dot_product()
+        edges_before = g.n_edges()
+        acyclic_block(g)
+        assert g.n_edges() == edges_before
+
+    def test_suite_helper(self):
+        blocks = acyclic_blocks("swim", limit=3)
+        assert len(blocks) == 3
+        for block in blocks:
+            assert all(e.distance == 0 for e in block.edges())

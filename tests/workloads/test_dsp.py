@@ -1,0 +1,94 @@
+"""DSP kernels: structure and compilability."""
+
+import pytest
+
+from repro.ddg.analysis import rec_mii
+from repro.machine.config import PAPER_CONFIG_NAMES, parse_config
+from repro.machine.resources import LATENCIES, OpClass
+from repro.pipeline.driver import Scheme, compile_loop
+from repro.sim.verifier import verify_kernel
+from repro.sim.vliw import simulate
+from repro.workloads.dsp import (
+    DSP_KERNELS,
+    complex_mac,
+    fir,
+    iir_biquad,
+    matmul_inner,
+)
+
+
+class TestStructure:
+    def test_fir_scales_with_taps(self):
+        small, large = fir(4), fir(16)
+        assert len(large) > len(small)
+        loads = lambda g: sum(
+            1 for n in g.nodes() if n.op_class is OpClass.LOAD
+        )
+        assert loads(large) == 16
+        assert loads(small) == 4
+
+    def test_fir_validates_taps(self):
+        with pytest.raises(ValueError):
+            fir(1)
+
+    def test_fir_is_acyclic_except_induction(self):
+        g = fir(8)
+        # Only the induction variable recurs: RecMII = 1.
+        assert rec_mii(g) == 1
+
+    def test_biquad_recurrence_bounds_ii(self):
+        g = iir_biquad()
+        # y -> a1y (dist 1) -> fb -> y: latencies 3 (y) + 6 (a1y) + 3 (fb)
+        # over distance 1 -> RecMII 12; the dist-2 path halves its sum.
+        assert rec_mii(g) == (
+            LATENCIES[OpClass.FP_ARITH] * 2 + LATENCIES[OpClass.FP_MUL]
+        )
+
+    def test_complex_mac_shape(self):
+        g = complex_mac()
+        muls = [n for n in g.nodes() if n.op_class is OpClass.FP_MUL]
+        assert len(muls) == 4
+        assert rec_mii(g) == LATENCIES[OpClass.FP_ARITH]
+
+    def test_matmul_unroll(self):
+        assert len(matmul_inner(4)) > len(matmul_inner(2))
+        with pytest.raises(ValueError):
+            matmul_inner(0)
+
+
+class TestCompilation:
+    @pytest.mark.parametrize("name", sorted(DSP_KERNELS))
+    def test_kernels_compile_on_4_clusters(self, name):
+        machine = parse_config("4c1b2l64r")
+        g = DSP_KERNELS[name]()
+        base = compile_loop(g, machine, scheme=Scheme.BASELINE)
+        repl = compile_loop(g, machine, scheme=Scheme.REPLICATION)
+        verify_kernel(base.kernel)
+        verify_kernel(repl.kernel)
+        assert repl.ii <= base.ii
+
+    def test_fir16_benefits_from_replication(self):
+        """A wide MAC tree is exactly the shape replication likes."""
+        machine = parse_config("4c2b4l64r")
+        g = fir(16)
+        base = compile_loop(g, machine, scheme=Scheme.BASELINE)
+        repl = compile_loop(g, machine, scheme=Scheme.REPLICATION)
+        ipc_base = simulate(base.kernel, 256).ipc
+        ipc_repl = simulate(repl.kernel, 256).ipc
+        assert ipc_repl >= ipc_base
+
+    def test_biquad_ii_hits_recurrence_bound_somewhere(self):
+        """The feedback recurrence, not the bus, limits the biquad."""
+        g = iir_biquad()
+        machine = parse_config("2c1b2l64r")
+        result = compile_loop(g, machine, scheme=Scheme.REPLICATION)
+        assert result.ii >= rec_mii(g)
+
+    def test_all_kernels_on_all_paper_configs(self):
+        for config in PAPER_CONFIG_NAMES:
+            machine = parse_config(config)
+            for name in ("fir8", "complex_mac"):
+                result = compile_loop(
+                    DSP_KERNELS[name](), machine, scheme=Scheme.REPLICATION
+                )
+                verify_kernel(result.kernel)

@@ -1,0 +1,92 @@
+"""The synthetic loop generator."""
+
+import random
+
+import pytest
+
+from repro.ddg.analysis import rec_mii
+from repro.machine.resources import FuKind
+from repro.workloads.generator import LoopSpec, generate_loop, generate_suite
+from repro.workloads.loop import Loop
+
+
+@pytest.fixture
+def spec():
+    return LoopSpec(name="test", trip_range=(10, 20), visit_range=(5, 10))
+
+
+class TestGenerateLoop:
+    def test_deterministic_for_same_seed(self, spec):
+        a = generate_loop(spec, random.Random(7))
+        b = generate_loop(spec, random.Random(7))
+        assert len(a.ddg) == len(b.ddg)
+        assert a.iterations == b.iterations
+        assert sorted(n.name for n in a.ddg.nodes()) == sorted(
+            n.name for n in b.ddg.nodes()
+        )
+
+    def test_profile_within_ranges(self, spec):
+        rng = random.Random(3)
+        for i in range(20):
+            loop = generate_loop(spec, rng, index=i)
+            assert 10 <= loop.iterations <= 20
+            assert 5 <= loop.visits <= 10
+
+    def test_always_has_induction_recurrence(self, spec):
+        loop = generate_loop(spec, random.Random(1))
+        assert rec_mii(loop.ddg) >= 1
+        i_node = loop.ddg.node_by_name("i")
+        assert any(
+            e.dst == i_node.uid and e.distance == 1
+            for e in loop.ddg.out_edges(i_node)
+        )
+
+    def test_contains_all_op_kinds(self, spec):
+        loop = generate_loop(spec, random.Random(2))
+        counts = loop.ddg.op_counts()
+        assert counts[FuKind.INT] > 0
+        assert counts[FuKind.FP] > 0
+        assert counts[FuKind.MEM] > 0
+
+    def test_sharing_knob_creates_fanout(self):
+        shared = LoopSpec(
+            name="s", n_streams=4, shared_values=3, shared_fanout=(4, 4)
+        )
+        private = LoopSpec(
+            name="p", n_streams=4, shared_values=4, shared_fanout=(1, 1)
+        )
+        loop_s = generate_loop(shared, random.Random(5))
+        loop_p = generate_loop(private, random.Random(5))
+
+        def max_pool_fanout(loop):
+            """Largest consumer count of a shared address value."""
+            return max(
+                (
+                    len(loop.ddg.children(n))
+                    for n in loop.ddg.nodes()
+                    if n.name.startswith("adr")
+                ),
+                default=0,
+            )
+
+        assert max_pool_fanout(loop_s) > max_pool_fanout(loop_p)
+
+    def test_suite_size_and_names(self, spec):
+        suite = generate_suite(spec, count=5, seed=11)
+        assert len(suite) == 5
+        assert [l.ddg.name for l in suite] == [f"test_{i}" for i in range(5)]
+
+
+class TestLoopValidation:
+    def test_bad_profile_rejected(self, spec):
+        loop = generate_loop(spec, random.Random(0))
+        with pytest.raises(ValueError):
+            Loop(ddg=loop.ddg, iterations=0, visits=1)
+        with pytest.raises(ValueError):
+            Loop(ddg=loop.ddg, iterations=1, visits=0)
+
+    def test_dynamic_instruction_count(self, spec):
+        loop = generate_loop(spec, random.Random(0))
+        assert loop.dynamic_instructions == (
+            len(loop.ddg) * loop.iterations * loop.visits
+        )

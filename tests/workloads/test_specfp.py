@@ -1,0 +1,79 @@
+"""The synthetic SPECfp95 suite."""
+
+import pytest
+
+from repro.workloads.specfp import (
+    BENCHMARK_ORDER,
+    BENCHMARK_SPECS,
+    LOOP_COUNTS,
+    all_loops,
+    benchmark_loops,
+    full_suite,
+    total_loops,
+)
+
+
+class TestSuiteShape:
+    def test_678_loops_total(self):
+        assert total_loops() == 678
+        assert sum(LOOP_COUNTS.values()) == 678
+
+    def test_ten_benchmarks_in_paper_order(self):
+        assert len(BENCHMARK_ORDER) == 10
+        assert BENCHMARK_ORDER[0] == "tomcatv"
+        assert set(BENCHMARK_ORDER) == set(LOOP_COUNTS)
+        assert set(BENCHMARK_ORDER) == set(BENCHMARK_SPECS)
+
+    def test_full_suite_matches_counts(self):
+        suite = full_suite(limit_per_benchmark=3)
+        assert all(len(loops) == 3 for loops in suite.values())
+
+    def test_all_loops_flattens(self):
+        loops = all_loops(limit_per_benchmark=2)
+        assert len(loops) == 20
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(KeyError):
+            benchmark_loops("gcc")
+
+
+class TestDeterminism:
+    def test_regeneration_is_identical(self):
+        a = benchmark_loops("swim", limit=4)
+        b = benchmark_loops("swim", limit=4)
+        for la, lb in zip(a, b):
+            assert len(la.ddg) == len(lb.ddg)
+            assert la.iterations == lb.iterations
+            assert la.visits == lb.visits
+
+    def test_limit_is_a_stable_prefix(self):
+        short = benchmark_loops("apsi", limit=2)
+        longer = benchmark_loops("apsi", limit=5)
+        for ls, ll in zip(short, longer):
+            assert len(ls.ddg) == len(ll.ddg)
+            assert ls.iterations == ll.iterations
+
+
+class TestSignatures:
+    def test_applu_has_tiny_trip_counts(self):
+        for loop in benchmark_loops("applu", limit=10):
+            assert loop.iterations <= 6
+
+    def test_swim_has_large_trip_counts(self):
+        for loop in benchmark_loops("swim", limit=10):
+            assert loop.iterations >= 300
+
+    def test_mgrid_streams_are_private(self):
+        spec = BENCHMARK_SPECS["mgrid"]
+        assert spec.shared_fanout == (1, 1)
+        assert spec.cross_link_prob == 0.0
+
+    def test_benchmark_tag_propagates(self):
+        for loop in benchmark_loops("fpppp", limit=3):
+            assert loop.benchmark == "fpppp"
+
+    def test_loops_are_modest_sized(self):
+        """Graphs stay in the innermost-loop regime (no monsters)."""
+        for name in BENCHMARK_ORDER:
+            for loop in benchmark_loops(name, limit=8):
+                assert 5 <= len(loop.ddg) <= 130

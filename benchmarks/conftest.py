@@ -5,6 +5,14 @@ it, and persists it under ``benchmarks/results/`` so the output
 survives pytest's capture. Timings are recorded with a single round —
 the interesting output is the table, not the wall time.
 
+Compilations route through :mod:`repro.engine`, whose persistent
+content-addressed cache (``~/.cache/repro-engine``, see
+``REPRO_CACHE``/``REPRO_CACHE_DIR``) is shared *across* pytest
+invocations: rerunning the harness replays cached kernels instead of
+recompiling them, and a per-session cache report is printed at the end
+of the run. ``REPRO_ENGINE_JOBS=<n>`` fans cold compilations out over
+worker processes.
+
 Sizing: the full 678-loop suite runs by default (as in the paper); set
 ``REPRO_BENCH_LOOPS=<n>`` for a fast deterministic subsample.
 """
@@ -14,6 +22,8 @@ from __future__ import annotations
 import pathlib
 
 import pytest
+
+from repro.engine.cache import default_cache
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -39,3 +49,17 @@ def once(benchmark):
                                   rounds=1, iterations=1)
 
     return _once
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Report how much compilation the shared engine cache absorbed."""
+    cache = default_cache()
+    if not cache.enabled:
+        terminalreporter.write_line("repro-engine cache: disabled (REPRO_CACHE=off)")
+        return
+    stats = cache.stats()
+    if stats.lookups == 0:
+        return
+    terminalreporter.write_line(
+        f"repro-engine cache [{cache.root}]: {stats.summary()}"
+    )

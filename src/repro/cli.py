@@ -7,6 +7,9 @@ Commands:
 * ``simulate`` — compile and run a loop, print IPC and issue stats.
 * ``suite`` — compile a synthetic benchmark's loops and print the
   profile-weighted IPC under baseline and replication.
+* ``bench`` — run a benchmark x machine x scheme matrix through the
+  parallel engine (persistent cache, ``--jobs N`` fan-out) and print a
+  summary table plus the cache hit-rate.
 * ``dot`` — emit Graphviz DOT for a loop (optionally partitioned).
 
 Examples::
@@ -14,13 +17,16 @@ Examples::
     python -m repro compile --machine 4c1b2l64r --loop stencil5
     python -m repro simulate --machine 4c2b4l64r --loop daxpy -n 500
     python -m repro suite --machine 4c1b2l64r --benchmark su2cor --limit 8
+    python -m repro bench --machine 4c1b2l64r --benchmark su2cor --jobs 4
     python -m repro dot --loop dot_product --machine 2c1b2l64r --partition
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import time
 
 from repro.ddg import io as ddg_io
 from repro.ddg.graph import Ddg
@@ -142,6 +148,105 @@ def cmd_suite(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Benchmark x machine x scheme matrix through the batch engine."""
+    from repro.engine.cache import ResultCache, default_cache
+    from repro.engine.events import EventBus, JsonlSink, StderrProgressSink
+    from repro.engine.executor import EngineConfig, run_jobs
+    from repro.engine.jobs import CompileJob, Outcome
+    from repro.pipeline.experiments import configured_limit
+    from repro.workloads.specfp import benchmark_loops as suite_loops
+
+    benchmarks = args.benchmark or list(BENCHMARK_ORDER)
+    machines = args.machine or ["4c1b2l64r"]
+    schemes = [_SCHEME_NAMES[name] for name in (args.scheme or ["baseline", "replication"])]
+    limit = args.limit if args.limit is not None else configured_limit()
+
+    cells = []  # (benchmark, machine name, scheme, loops, job slice start)
+    jobs: list[CompileJob] = []
+    for bench in benchmarks:
+        loops = suite_loops(bench, limit=limit)
+        for machine_name in machines:
+            _machine(machine_name)  # validate the config string early
+            for scheme in schemes:
+                cells.append((bench, machine_name, scheme, loops, len(jobs)))
+                jobs.extend(
+                    CompileJob(
+                        ddg=loop.ddg,
+                        machine=machine_name,
+                        scheme=scheme,
+                        tag=f"{bench}/{loop.name}",
+                    )
+                    for loop in loops
+                )
+
+    cache = ResultCache(enabled=False) if args.no_cache else default_cache()
+    sinks = []
+    if not args.quiet:
+        sinks.append(StderrProgressSink(total=len(jobs)))
+    if args.events:
+        sinks.append(JsonlSink(args.events))
+    bus = EventBus(sinks)
+    config = EngineConfig(jobs=args.jobs, timeout=args.timeout, cache=cache)
+
+    started = time.perf_counter()
+    results = run_jobs(jobs, config, bus)
+    elapsed = time.perf_counter() - started
+    bus.close()
+
+    rows = []
+    failures = []
+    for bench, machine_name, scheme, loops, offset in cells:
+        cell_results = results[offset : offset + len(loops)]
+        ok = [
+            loop_metrics(loop, res.result)
+            for loop, res in zip(loops, cell_results)
+            if res.ok
+        ]
+        failed = [r for r in cell_results if r.outcome is Outcome.ERROR]
+        timed_out = [r for r in cell_results if r.outcome is Outcome.TIMEOUT]
+        failures.extend(failed + timed_out)
+        ipc = benchmark_metrics(bench, ok).ipc
+        rows.append(
+            [
+                bench,
+                machine_name,
+                scheme.value,
+                len(loops),
+                len(ok),
+                len(failed),
+                len(timed_out),
+                ipc,
+            ]
+        )
+    print(
+        format_table(
+            ["benchmark", "machine", "scheme", "loops", "ok", "failed",
+             "timeout", "IPC"],
+            rows,
+            title="bench matrix",
+        )
+    )
+    hits = sum(1 for r in results if r.cached)
+    hit_rate = 100.0 * hits / len(results) if results else 0.0
+    if cache.enabled:
+        stats = cache.stats()
+        cache_line = (
+            f"{hits}/{len(results)} hits ({hit_rate:.1f}%), "
+            f"{stats.entries} entries on disk ({stats.total_bytes / 1024:.0f} KiB)"
+        )
+    else:
+        cache_line = "disabled"
+    print(f"{len(results)} jobs in {elapsed:.2f}s  cache: {cache_line}")
+    if failures:
+        print(f"{len(failures)} loops did not compile:")
+        for res in failures[:10]:
+            print(f"  {res.tag}: [{res.outcome.value}] {res.error}")
+        if len(failures) > 10:
+            print(f"  ... and {len(failures) - 10} more")
+    return 0
+
+
 def cmd_selfcheck(args: argparse.Namespace) -> int:
     from repro.pipeline.validation import self_check
 
@@ -227,6 +332,66 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--limit", type=int, default=8, help="loops per benchmark")
     p.set_defaults(func=cmd_suite)
+
+    p = sub.add_parser(
+        "bench",
+        help="benchmark x machine x scheme matrix via the parallel engine",
+    )
+    p.add_argument(
+        "--machine",
+        action="append",
+        default=None,
+        help="machine config; repeatable (default: 4c1b2l64r)",
+    )
+    p.add_argument(
+        "--benchmark",
+        action="append",
+        choices=BENCHMARK_ORDER,
+        default=None,
+        help="benchmark; repeatable (default: all)",
+    )
+    p.add_argument(
+        "--scheme",
+        action="append",
+        choices=sorted(_SCHEME_NAMES),
+        default=None,
+        help="compiler variant; repeatable (default: baseline + replication)",
+    )
+    p.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        help="loops per benchmark (default: REPRO_BENCH_LOOPS or full)",
+    )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=os.cpu_count(),
+        help="worker processes (default: CPU count)",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-job wall-clock timeout in seconds (default: none)",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the persistent result cache",
+    )
+    p.add_argument(
+        "--events",
+        default=None,
+        metavar="FILE",
+        help="append structured JSONL events to FILE",
+    )
+    p.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the stderr progress line",
+    )
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("selfcheck", help="exercise every subsystem (seconds)")
     p.set_defaults(func=cmd_selfcheck)

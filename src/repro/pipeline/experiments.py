@@ -4,6 +4,15 @@ The benchmark harness (``benchmarks/``) regenerates every figure; most
 figures share compilations (Figure 7's kernels are Figure 10's), so
 results are memoized per (benchmark, loop, machine, scheme, flags).
 
+Compilations are submitted through :mod:`repro.engine`: each loop
+becomes a content-addressed :class:`~repro.engine.jobs.CompileJob`, so
+results persist in the on-disk cache (``~/.cache/repro-engine``; see
+``REPRO_CACHE``/``REPRO_CACHE_DIR``) and are shared across *processes*
+— a second pytest/benchmark invocation replays compilations instead of
+redoing them. ``REPRO_ENGINE_JOBS=<n>`` additionally fans cold
+compilations out over worker processes (default 1: in-process,
+bit-identical to calling :func:`repro.pipeline.driver.compile_loop`).
+
 Sizing: by default the *full* 678-loop suite is evaluated, like the
 paper. Set ``REPRO_BENCH_LOOPS=<n>`` to subsample the first ``n`` loops
 of each benchmark during development (the prefix is deterministic), or
@@ -15,8 +24,10 @@ from __future__ import annotations
 import dataclasses
 import os
 
+from repro.engine.executor import EngineConfig, run_jobs
+from repro.engine.jobs import CompileJob, JobResult
 from repro.machine.config import MachineConfig, parse_config, unified_machine
-from repro.pipeline.driver import CompileError, Scheme, compile_loop
+from repro.pipeline.driver import Scheme
 from repro.pipeline.metrics import (
     BenchmarkMetrics,
     LoopMetrics,
@@ -25,6 +36,7 @@ from repro.pipeline.metrics import (
     loop_metrics,
 )
 from repro.schedule.scheduler import FailureCause
+from repro.workloads.loop import Loop
 from repro.workloads.specfp import BENCHMARK_ORDER, benchmark_loops
 
 #: Environment variable controlling per-benchmark loop counts.
@@ -32,11 +44,28 @@ LIMIT_ENV = "REPRO_BENCH_LOOPS"
 
 
 def configured_limit() -> int | None:
-    """Per-benchmark loop limit from the environment (None = full)."""
+    """Per-benchmark loop limit from the environment (None = full).
+
+    Raises:
+        ValueError: naming the variable and the accepted forms when the
+            value is not a non-negative integer or ``"all"``.
+    """
     raw = os.environ.get(LIMIT_ENV, "").strip().lower()
     if not raw or raw == "all":
         return None
-    return max(1, int(raw))
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{LIMIT_ENV} must be a positive integer (loops per benchmark)"
+            f" or 'all' for the full suite; got {raw!r}"
+        ) from None
+    if value < 0:
+        raise ValueError(
+            f"{LIMIT_ENV} must be a positive integer (loops per benchmark)"
+            f" or 'all' for the full suite; got {raw!r}"
+        )
+    return max(1, value)
 
 
 def machine_for(name: str) -> MachineConfig:
@@ -56,7 +85,100 @@ class _Key:
     copy_latency_override: int | None
 
 
-_CACHE: dict[_Key, list[LoopMetrics]] = {}
+@dataclasses.dataclass(frozen=True)
+class LoopOutcome:
+    """One loop's structured compilation outcome within a sweep.
+
+    Failed cells (``CompileError`` text, timeouts) are data, not
+    exceptions: a sweep reports which loops dropped out instead of
+    aborting on the first unschedulable one.
+    """
+
+    loop: Loop
+    job: JobResult
+
+    @property
+    def ok(self) -> bool:
+        """True when the loop compiled."""
+        return self.job.ok
+
+    @property
+    def error(self) -> str:
+        """Failure text (empty when compiled)."""
+        return self.job.error
+
+
+@dataclasses.dataclass
+class _SuiteEntry:
+    outcomes: list[LoopOutcome]
+    metrics: list[LoopMetrics]
+
+
+_CACHE: dict[_Key, _SuiteEntry] = {}
+
+
+def _compile_entry(
+    benchmark: str,
+    machine: MachineConfig,
+    scheme: Scheme,
+    limit: int | None,
+    length_replication: bool,
+    copy_latency_override: int | None,
+) -> _SuiteEntry:
+    """Compile one benchmark's loops through the engine."""
+    loops = benchmark_loops(benchmark, limit=limit)
+    jobs = [
+        CompileJob(
+            ddg=loop.ddg,
+            machine=machine.name,
+            scheme=scheme,
+            length_replication=length_replication,
+            copy_latency_override=copy_latency_override,
+            tag=f"{benchmark}/{loop.name}",
+        )
+        for loop in loops
+    ]
+    results = run_jobs(jobs, EngineConfig())
+    outcomes = [
+        LoopOutcome(loop=loop, job=result)
+        for loop, result in zip(loops, results)
+    ]
+    metrics = [
+        loop_metrics(o.loop, o.job.result) for o in outcomes if o.ok
+    ]
+    return _SuiteEntry(outcomes=outcomes, metrics=metrics)
+
+
+def _entry_for(
+    benchmark: str,
+    machine: MachineConfig,
+    scheme: Scheme,
+    limit: int | None = None,
+    length_replication: bool = False,
+    copy_latency_override: int | None = None,
+) -> _SuiteEntry:
+    if limit is None:
+        limit = configured_limit()
+    key = _Key(
+        benchmark=benchmark,
+        machine=machine.name,
+        scheme=scheme,
+        limit=limit,
+        length_replication=length_replication,
+        copy_latency_override=copy_latency_override,
+    )
+    entry = _CACHE.get(key)
+    if entry is None:
+        entry = _compile_entry(
+            benchmark,
+            machine,
+            scheme,
+            limit,
+            length_replication,
+            copy_latency_override,
+        )
+        _CACHE[key] = entry
+    return entry
 
 
 def compile_suite(
@@ -70,37 +192,42 @@ def compile_suite(
     """Compile one benchmark's loops; memoized across experiments.
 
     Loops that fail to compile within the II bound (possible in extreme
-    ablations, e.g. tiny register files) are skipped consistently: a
-    marker is cached so every scheme sees the same loop set.
+    ablations, e.g. tiny register files) are skipped consistently: the
+    failure is cached as a :class:`LoopOutcome` so every scheme sees the
+    same loop set; see :func:`suite_outcomes` for the failure records.
     """
-    if limit is None:
-        limit = configured_limit()
-    key = _Key(
-        benchmark=benchmark,
-        machine=machine.name,
-        scheme=scheme,
+    return _entry_for(
+        benchmark,
+        machine,
+        scheme,
         limit=limit,
         length_replication=length_replication,
         copy_latency_override=copy_latency_override,
-    )
-    if key in _CACHE:
-        return _CACHE[key]
+    ).metrics
 
-    metrics = []
-    for loop in benchmark_loops(benchmark, limit=limit):
-        try:
-            result = compile_loop(
-                loop.ddg,
-                machine,
-                scheme=scheme,
-                length_replication=length_replication,
-                copy_latency_override=copy_latency_override,
-            )
-        except CompileError:
-            continue
-        metrics.append(loop_metrics(loop, result))
-    _CACHE[key] = metrics
-    return metrics
+
+def suite_outcomes(
+    benchmark: str,
+    machine: MachineConfig,
+    scheme: Scheme,
+    **kwargs,
+) -> list[LoopOutcome]:
+    """Per-loop structured outcomes (including failures) of a sweep."""
+    return _entry_for(benchmark, machine, scheme, **kwargs).outcomes
+
+
+def failed_outcomes(
+    benchmark: str,
+    machine: MachineConfig,
+    scheme: Scheme,
+    **kwargs,
+) -> list[LoopOutcome]:
+    """Only the loops that failed (CompileError / timeout), with text."""
+    return [
+        outcome
+        for outcome in suite_outcomes(benchmark, machine, scheme, **kwargs)
+        if not outcome.ok
+    ]
 
 
 def suite_metrics(
@@ -160,5 +287,10 @@ def mean_ii_reduction(
 
 
 def clear_cache() -> None:
-    """Drop all memoized compilations (tests use this)."""
+    """Drop all memoized compilations (tests use this).
+
+    Only the in-process memo is dropped; the engine's persistent
+    on-disk cache is deliberately left alone (clear it with
+    ``repro.engine.default_cache().clear()`` or ``REPRO_CACHE=off``).
+    """
     _CACHE.clear()

@@ -2,7 +2,32 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+from repro.engine import cache as engine_cache
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_engine_cache(tmp_path_factory):
+    """Point the engine's persistent cache at a fresh per-run directory.
+
+    Unit tests must never read results a *previous* code version wrote
+    to ``~/.cache/repro-engine`` — a stale kernel could mask a real
+    regression — so the suite gets its own empty cache (still
+    exercising the engine's disk path within the run).
+    """
+    root = tmp_path_factory.mktemp("repro-engine-cache")
+    previous = os.environ.get(engine_cache.CACHE_DIR_ENV)
+    os.environ[engine_cache.CACHE_DIR_ENV] = str(root)
+    engine_cache.reset_default_cache()
+    yield
+    if previous is None:
+        os.environ.pop(engine_cache.CACHE_DIR_ENV, None)
+    else:
+        os.environ[engine_cache.CACHE_DIR_ENV] = previous
+    engine_cache.reset_default_cache()
 
 from repro.ddg.builder import DdgBuilder
 from repro.machine.config import (

@@ -1,0 +1,83 @@
+"""Structured events and sinks."""
+
+import io
+import json
+
+from repro.engine.events import (
+    CollectingSink,
+    Event,
+    EventBus,
+    EventKind,
+    JsonlSink,
+    Sink,
+    StderrProgressSink,
+)
+
+
+def event(kind=EventKind.FINISHED, **kwargs):
+    defaults = dict(kind=kind, key="ab" * 32, tag="bench/loop_0")
+    defaults.update(kwargs)
+    return Event(**defaults)
+
+
+class TestJsonlSink:
+    def test_lines_are_parseable_json(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(str(path))
+        sink.emit(event(duration=1.25, ii=4, mii=3))
+        sink.emit(event(EventKind.ERROR, error="unschedulable"))
+        sink.close()
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        first, second = (json.loads(line) for line in lines)
+        assert first["kind"] == "finished"
+        assert first["ii"] == 4 and first["mii"] == 3
+        assert second["kind"] == "error"
+        assert second["error"] == "unschedulable"
+
+    def test_appends_across_instances(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        for _ in range(2):
+            sink = JsonlSink(str(path))
+            sink.emit(event())
+            sink.close()
+        assert len(path.read_text().strip().splitlines()) == 2
+
+
+class TestStderrProgressSink:
+    def test_counts_terminal_events(self):
+        stream = io.StringIO()
+        sink = StderrProgressSink(total=4, stream=stream)
+        sink.emit(event(EventKind.STARTED))  # ignored: not terminal
+        sink.emit(event(EventKind.FINISHED))
+        sink.emit(event(EventKind.CACHE_HIT))
+        sink.emit(event(EventKind.ERROR))
+        sink.emit(event(EventKind.TIMEOUT))
+        sink.close()
+        assert sink.done == 4
+        assert sink.hits == 1 and sink.failed == 1 and sink.timeouts == 1
+        out = stream.getvalue()
+        assert "[4/4]" in out and "1 cached" in out
+        assert out.endswith("\n")
+
+
+class TestEventBus:
+    def test_broken_sink_never_breaks_the_run(self):
+        class Exploding(Sink):
+            def emit(self, _):
+                raise RuntimeError("boom")
+
+            def close(self):
+                raise RuntimeError("boom")
+
+        good = CollectingSink()
+        bus = EventBus([Exploding(), good])
+        bus.emit(event())
+        bus.close()
+        assert len(good.events) == 1
+        assert bus.dropped == 2  # one emit + one close failure
+
+    def test_timestamps_are_stamped(self):
+        sink = CollectingSink()
+        EventBus([sink]).emit(event())
+        assert sink.events[0].timestamp > 0

@@ -1,0 +1,189 @@
+"""Executor edge cases: serial parity, timeouts, retries, corruption."""
+
+import os
+import time
+
+import pytest
+
+from repro.engine import jobs as jobs_mod
+from repro.engine.cache import ResultCache
+from repro.engine.events import CollectingSink, EventBus, EventKind
+from repro.engine.executor import EngineConfig, configured_jobs, run_jobs
+from repro.engine.jobs import CompileJob, Outcome
+from repro.pipeline.driver import Scheme, compile_loop
+from repro.pipeline.metrics import loop_metrics
+from repro.workloads.specfp import benchmark_loops
+
+
+def suite_jobs(benchmark="mgrid", limit=3, scheme=Scheme.REPLICATION):
+    loops = benchmark_loops(benchmark, limit=limit)
+    return loops, [
+        CompileJob(
+            ddg=loop.ddg,
+            machine="2c1b2l64r",
+            scheme=scheme,
+            tag=f"{benchmark}/{loop.name}",
+        )
+        for loop in loops
+    ]
+
+
+def no_cache():
+    return ResultCache(enabled=False)
+
+
+class TestSerialParity:
+    def test_jobs_1_no_cache_matches_compile_loop_exactly(self):
+        """--jobs 1 + cache off is bit-identical to the serial path."""
+        loops, jobs = suite_jobs("su2cor", limit=4)
+        engine = run_jobs(jobs, EngineConfig(jobs=1, cache=no_cache()))
+        for loop, job, result in zip(loops, jobs, engine):
+            serial = compile_loop(
+                loop.ddg, jobs_mod.resolve_machine(job.machine), scheme=job.scheme
+            )
+            assert result.ok
+            assert result.result.ii == serial.ii
+            assert result.result.mii == serial.mii
+            assert result.result.causes == serial.causes
+            assert result.result.kernel.length == serial.kernel.length
+            engine_metric = loop_metrics(loop, result.result)
+            serial_metric = loop_metrics(loop, serial)
+            assert engine_metric.cycles == serial_metric.cycles
+            assert engine_metric.useful_ops == serial_metric.useful_ops
+
+    def test_pool_matches_inline(self):
+        loops, jobs = suite_jobs("mgrid", limit=4)
+        inline = run_jobs(jobs, EngineConfig(jobs=1, cache=no_cache()))
+        pooled = run_jobs(jobs, EngineConfig(jobs=2, cache=no_cache()))
+        for a, b in zip(inline, pooled):
+            assert a.ok and b.ok
+            assert a.result.ii == b.result.ii
+            assert a.result.causes == b.result.causes
+            assert a.result.kernel.length == b.result.kernel.length
+
+    def test_results_preserve_submission_order(self):
+        _, jobs = suite_jobs("mgrid", limit=3)
+        results = run_jobs(jobs, EngineConfig(jobs=2, cache=no_cache()))
+        assert [r.tag for r in results] == [j.tag for j in jobs]
+
+
+class TestTimeout:
+    def test_timeout_records_outcome_and_continues(self, monkeypatch):
+        """A stuck job records TIMEOUT; the rest of the batch completes."""
+        real_compile = compile_loop
+
+        def stuck_on_marker(ddg, machine, **kwargs):
+            if ddg.name == "stuck":
+                time.sleep(60.0)
+            return real_compile(ddg, machine, **kwargs)
+
+        monkeypatch.setattr(jobs_mod, "compile_loop", stuck_on_marker)
+        loops, jobs = suite_jobs("mgrid", limit=2)
+        stuck_ddg = loops[0].ddg.copy()
+        stuck_ddg.name = "stuck"
+        batch = [
+            CompileJob(ddg=stuck_ddg, machine="2c1b2l64r", scheme=Scheme.BASELINE,
+                       tag="stuck"),
+            jobs[1],
+        ]
+        started = time.perf_counter()
+        results = run_jobs(
+            batch, EngineConfig(jobs=1, timeout=0.2, cache=no_cache())
+        )
+        assert time.perf_counter() - started < 30.0  # did not hang
+        assert results[0].outcome is Outcome.TIMEOUT
+        assert "0.2" in results[0].error
+        assert results[1].ok  # the batch carried on
+
+    def test_timeout_event_emitted(self, monkeypatch):
+        monkeypatch.setattr(
+            jobs_mod, "compile_loop", lambda *a, **k: time.sleep(60.0)
+        )
+        _, jobs = suite_jobs("mgrid", limit=1)
+        sink = CollectingSink()
+        run_jobs(
+            jobs,
+            EngineConfig(jobs=1, timeout=0.1, cache=no_cache()),
+            EventBus([sink]),
+        )
+        kinds = [e.kind for e in sink.events]
+        assert EventKind.TIMEOUT in kinds
+
+
+class TestFailureIsolation:
+    def test_compile_error_does_not_abort_batch(self):
+        from repro.ddg.graph import Ddg
+
+        loops, jobs = suite_jobs("mgrid", limit=2)
+        batch = [
+            jobs[0],
+            CompileJob(ddg=Ddg("hollow"), machine="2c1b2l64r",
+                       scheme=Scheme.BASELINE, tag="hollow"),
+            jobs[1],
+        ]
+        results = run_jobs(batch, EngineConfig(jobs=1, cache=no_cache()))
+        assert results[0].ok and results[2].ok
+        assert results[1].outcome is Outcome.ERROR
+        assert "hollow" in results[1].error
+
+    def test_worker_death_degrades_to_error(self, monkeypatch):
+        """A dying worker process is retried once, then reported."""
+
+        def die(ddg, machine, **kwargs):
+            os._exit(13)
+
+        monkeypatch.setattr(jobs_mod, "compile_loop", die)
+        _, jobs = suite_jobs("mgrid", limit=1)
+        results = run_jobs(jobs, EngineConfig(jobs=2, cache=no_cache()))
+        assert results[0].outcome is Outcome.ERROR
+        assert "worker" in results[0].error
+
+
+class TestCacheIntegration:
+    def test_second_run_hits_and_preserves_metrics(self, tmp_path):
+        loops, jobs = suite_jobs("mgrid", limit=2)
+        store = ResultCache(root=tmp_path, enabled=True)
+        cold = run_jobs(jobs, EngineConfig(jobs=1, cache=store))
+        warm = run_jobs(jobs, EngineConfig(jobs=1, cache=store))
+        assert all(not r.cached for r in cold)
+        assert all(r.cached for r in warm)
+        for a, b in zip(cold, warm):
+            assert a.result.ii == b.result.ii
+            assert a.result.causes == b.result.causes
+
+    def test_corrupted_entry_is_recompiled(self, tmp_path):
+        _, jobs = suite_jobs("mgrid", limit=1)
+        store = ResultCache(root=tmp_path, enabled=True)
+        first = run_jobs(jobs, EngineConfig(jobs=1, cache=store))
+        store.path_for(first[0].key).write_bytes(b"\x00garbage")
+        again = run_jobs(jobs, EngineConfig(jobs=1, cache=store))
+        assert not again[0].cached  # corrupt entry = miss, not crash
+        assert again[0].ok
+        assert again[0].result.ii == first[0].result.ii
+
+    def test_cache_hit_events(self, tmp_path):
+        _, jobs = suite_jobs("mgrid", limit=1)
+        store = ResultCache(root=tmp_path, enabled=True)
+        run_jobs(jobs, EngineConfig(jobs=1, cache=store))
+        sink = CollectingSink()
+        run_jobs(jobs, EngineConfig(jobs=1, cache=store), EventBus([sink]))
+        assert [e.kind for e in sink.events] == [EventKind.CACHE_HIT]
+
+
+class TestConfiguredJobs:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE_JOBS", raising=False)
+        assert configured_jobs() == 1
+
+    def test_numeric(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_JOBS", "3")
+        assert configured_jobs() == 3
+
+    def test_auto(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_JOBS", "auto")
+        assert configured_jobs() >= 1
+
+    def test_malformed_names_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_JOBS", "many")
+        with pytest.raises(ValueError, match="REPRO_ENGINE_JOBS"):
+            configured_jobs()

@@ -1,0 +1,106 @@
+"""Content-addressed job keying: determinism and sensitivity."""
+
+import pytest
+
+from repro.engine.jobs import CompileJob, Outcome, run_job
+from repro.pipeline.driver import Scheme
+from repro.workloads.patterns import daxpy, stencil5
+from repro.workloads.specfp import benchmark_loops
+
+
+def job(ddg=None, **overrides) -> CompileJob:
+    defaults = dict(
+        ddg=ddg if ddg is not None else daxpy(),
+        machine="4c1b2l64r",
+        scheme=Scheme.REPLICATION,
+    )
+    defaults.update(overrides)
+    return CompileJob(**defaults)
+
+
+class TestHashDeterminism:
+    def test_same_ddg_built_twice_same_hash(self):
+        assert job(daxpy()).content_hash() == job(daxpy()).content_hash()
+
+    def test_regenerated_suite_loop_same_hash(self):
+        first = benchmark_loops("mgrid", limit=1)[0]
+        second = benchmark_loops("mgrid", limit=1)[0]
+        assert (
+            job(first.ddg).content_hash() == job(second.ddg).content_hash()
+        )
+
+    def test_hash_is_hex_sha256(self):
+        digest = job().content_hash()
+        assert len(digest) == 64
+        int(digest, 16)  # parses as hex
+
+    def test_tag_does_not_affect_hash(self):
+        assert (
+            job(tag="a/1").content_hash() == job(tag="b/2").content_hash()
+        )
+
+    def test_wire_round_trip_preserves_hash(self):
+        original = job(stencil5(), tag="x")
+        rebuilt = CompileJob.from_wire(original.to_wire())
+        assert rebuilt.content_hash() == original.content_hash()
+        assert rebuilt.tag == "x"
+
+
+class TestHashSensitivity:
+    def test_different_graph(self):
+        assert job(daxpy()).content_hash() != job(stencil5()).content_hash()
+
+    def test_edge_distance_changes_hash(self):
+        from repro.ddg.graph import EdgeKind
+
+        plain, carried = daxpy(), daxpy()
+        nodes = list(carried.nodes())
+        carried.add_edge(nodes[-1], nodes[0], distance=3, kind=EdgeKind.MEMORY)
+        assert job(plain).content_hash() != job(carried).content_hash()
+
+    def test_machine_string_changes_hash(self):
+        assert (
+            job(machine="4c1b2l64r").content_hash()
+            != job(machine="2c1b2l64r").content_hash()
+        )
+
+    def test_bus_latency_changes_hash(self):
+        # One latency digit in the config string is a different machine.
+        assert (
+            job(machine="4c1b2l64r").content_hash()
+            != job(machine="4c1b4l64r").content_hash()
+        )
+
+    def test_scheme_changes_hash(self):
+        assert (
+            job(scheme=Scheme.BASELINE).content_hash()
+            != job(scheme=Scheme.REPLICATION).content_hash()
+        )
+
+    @pytest.mark.parametrize(
+        "flag, value",
+        [
+            ("length_replication", True),
+            ("copy_latency_override", 0),
+            ("spare_comms", 2),
+            ("max_ii", 99),
+        ],
+    )
+    def test_each_flag_changes_hash(self, flag, value):
+        assert job().content_hash() != job(**{flag: value}).content_hash()
+
+
+class TestRunJob:
+    def test_ok_outcome_carries_result(self):
+        result = run_job(job())
+        assert result.outcome is Outcome.OK and result.ok
+        assert result.ii is not None and result.ii >= result.result.mii
+        assert result.error == ""
+
+    def test_compile_error_is_structured(self):
+        from repro.ddg.graph import Ddg
+
+        result = run_job(job(Ddg("empty")))
+        assert result.outcome is Outcome.ERROR
+        assert not result.ok and result.result is None
+        assert "empty" in result.error

@@ -31,6 +31,19 @@ class TestConfiguredLimit:
         monkeypatch.setenv(experiments.LIMIT_ENV, "0")
         assert experiments.configured_limit() == 1
 
+    def test_non_numeric_names_variable_and_forms(self, monkeypatch):
+        monkeypatch.setenv(experiments.LIMIT_ENV, "ten")
+        with pytest.raises(ValueError) as err:
+            experiments.configured_limit()
+        message = str(err.value)
+        assert experiments.LIMIT_ENV in message
+        assert "all" in message and "'ten'" in message
+
+    def test_negative_is_rejected(self, monkeypatch):
+        monkeypatch.setenv(experiments.LIMIT_ENV, "-3")
+        with pytest.raises(ValueError, match=experiments.LIMIT_ENV):
+            experiments.configured_limit()
+
 
 class TestMachineFor:
     def test_unified(self):
@@ -68,6 +81,42 @@ class TestCompileSuite:
         ):
             assert metric.cycles > 0
             assert metric.useful_ops > 0
+
+
+class TestSuiteOutcomes:
+    def test_outcomes_align_with_metrics(self):
+        machine = experiments.machine_for("2c1b2l64r")
+        outcomes = experiments.suite_outcomes(
+            "mgrid", machine, Scheme.BASELINE, limit=3
+        )
+        metrics = experiments.compile_suite(
+            "mgrid", machine, Scheme.BASELINE, limit=3
+        )
+        assert len(outcomes) == 3
+        assert all(o.ok and o.error == "" for o in outcomes)
+        assert len(metrics) == len([o for o in outcomes if o.ok])
+        assert [o.loop.name for o in outcomes] == [
+            m.loop.name for m in metrics
+        ]
+
+    def test_failed_outcomes_empty_on_healthy_suite(self):
+        machine = experiments.machine_for("2c1b2l64r")
+        assert (
+            experiments.failed_outcomes(
+                "mgrid", machine, Scheme.BASELINE, limit=2
+            )
+            == []
+        )
+
+    def test_outcomes_are_memoized_with_metrics(self):
+        machine = experiments.machine_for("2c1b2l64r")
+        first = experiments.suite_outcomes(
+            "mgrid", machine, Scheme.BASELINE, limit=2
+        )
+        second = experiments.suite_outcomes(
+            "mgrid", machine, Scheme.BASELINE, limit=2
+        )
+        assert first is second
 
 
 class TestAggregates:

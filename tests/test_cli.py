@@ -86,6 +86,50 @@ class TestDot:
         assert "subgraph cluster_0" in out
 
 
+class TestBench:
+    def test_matrix_summary_table(self, capsys):
+        assert (
+            main(
+                ["bench", "--benchmark", "mgrid", "--machine", "2c1b2l64r",
+                 "--limit", "2", "--jobs", "1", "--quiet", "--no-cache"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "bench matrix" in out
+        assert "mgrid" in out and "baseline" in out and "replication" in out
+        assert "cache: disabled" in out
+
+    def test_second_run_reports_cache_hits(self, capsys, monkeypatch, tmp_path):
+        from repro.engine import cache as engine_cache
+
+        monkeypatch.setenv(engine_cache.CACHE_DIR_ENV, str(tmp_path))
+        engine_cache.reset_default_cache()
+        argv = ["bench", "--benchmark", "mgrid", "--machine", "2c1b2l64r",
+                "--limit", "2", "--jobs", "1", "--scheme", "baseline",
+                "--quiet"]
+        main(argv)
+        cold = capsys.readouterr().out
+        assert "0 hits" in cold or "(0.0%)" in cold
+        main(argv)
+        warm = capsys.readouterr().out
+        assert "(100.0%)" in warm
+        engine_cache.reset_default_cache()
+
+    def test_events_file_is_jsonl(self, tmp_path, capsys):
+        import json
+
+        events = tmp_path / "events.jsonl"
+        main(["bench", "--benchmark", "mgrid", "--limit", "1", "--jobs", "1",
+              "--scheme", "baseline", "--quiet", "--no-cache",
+              "--events", str(events)])
+        capsys.readouterr()
+        lines = events.read_text().strip().splitlines()
+        assert lines
+        kinds = {json.loads(line)["kind"] for line in lines}
+        assert "finished" in kinds or "cache_hit" in kinds
+
+
 class TestSelfCheck:
     def test_selfcheck_runs_green(self, capsys):
         assert main(["selfcheck"]) == 0

@@ -12,10 +12,12 @@ from repro.core.plan import EMPTY_PLAN
 from repro.ddg.analysis import mii
 from repro.machine.config import parse_config
 from repro.partition.multilevel import MultilevelPartitioner
+from repro.pipeline.driver import UnschedulableError
+from repro.pipeline.passes import LinearEscalation, find_min_ii
 from repro.pipeline.report import format_table
 from repro.schedule.ims import ims_schedule
 from repro.schedule.placed import build_placed_graph
-from repro.schedule.scheduler import ScheduleFailure, schedule
+from repro.schedule.scheduler import FailureCause, ScheduleFailure, schedule
 from repro.workloads.specfp import BENCHMARK_ORDER, benchmark_loops
 
 CONFIG = "4c1b2l64r"
@@ -24,21 +26,29 @@ II_RANGE = 64
 
 
 def min_ii(scheduler, ddg, machine) -> int | None:
+    """Smallest feasible II under one scheduler, searching with the
+    driver's shared :class:`LinearEscalation` policy."""
     partitioner = MultilevelPartitioner(ddg=ddg, machine=machine)
     lo = mii(ddg, machine)
-    for ii in range(lo, lo + II_RANGE):
+
+    def attempt(ii):
         part = partitioner.partition(ii)
         if part.min_resource_ii(machine) > ii:
-            continue
+            raise ScheduleFailure(
+                FailureCause.RESOURCES, f"partition infeasible at II={ii}"
+            )
         graph = build_placed_graph(ddg, part, machine, EMPTY_PLAN)
         if graph.n_comms() > machine.bus.capacity(ii):
-            continue
-        try:
-            scheduler(graph, machine, ii)
-            return ii
-        except ScheduleFailure:
-            continue
-    return None
+            raise ScheduleFailure(
+                FailureCause.BUS, f"too many communications at II={ii}"
+            )
+        return scheduler(graph, machine, ii)
+
+    try:
+        ii, _ = find_min_ii(attempt, lo, lo + II_RANGE - 1, LinearEscalation())
+        return ii
+    except UnschedulableError:
+        return None
 
 
 def render_scheduler_ablation() -> tuple[str, dict[str, float]]:

@@ -22,7 +22,6 @@ from repro.pipeline.experiments import (
 )
 from repro.pipeline.metrics import added_instruction_stats, comm_stats
 from repro.pipeline.report import format_table
-from repro.schedule.scheduler import FailureCause
 from repro.workloads.specfp import BENCHMARK_ORDER
 
 

@@ -32,7 +32,18 @@ Package map (see DESIGN.md for the full inventory):
 from repro.core import ReplicationPlan, replicate
 from repro.ddg import Ddg, DdgBuilder, mii
 from repro.machine import MachineConfig, OpClass, parse_config, unified_machine
-from repro.pipeline import CompileResult, Scheme, compile_loop
+from repro.pipeline import (
+    CompileDiagnostics,
+    CompileError,
+    CompileResult,
+    Scheme,
+    SchemeConfig,
+    UnschedulableError,
+    compile_loop,
+    register_scheme,
+    run_pass_pipeline,
+    scheme_names,
+)
 from repro.schedule import Kernel, build_placed_graph, schedule
 from repro.sim import SimResult, simulate, verify_kernel
 from repro.workloads import Loop
@@ -49,9 +60,16 @@ __all__ = [
     "OpClass",
     "parse_config",
     "unified_machine",
+    "CompileDiagnostics",
+    "CompileError",
     "CompileResult",
     "Scheme",
+    "SchemeConfig",
+    "UnschedulableError",
     "compile_loop",
+    "register_scheme",
+    "run_pass_pipeline",
+    "scheme_names",
     "Kernel",
     "build_placed_graph",
     "schedule",

@@ -148,8 +148,25 @@ def cmd_suite(args: argparse.Namespace) -> int:
     return 0
 
 
+def _stage_breakdown(results) -> dict[str, float]:
+    """Aggregate per-stage compile seconds from result diagnostics.
+
+    Sourced from :class:`~repro.pipeline.driver.CompileDiagnostics`,
+    which travels with every (possibly cached) ``CompileResult`` — so a
+    warm run reports where the *original* compile time went.
+    """
+    totals: dict[str, float] = {}
+    for res in results:
+        if res.ok and res.result.diagnostics is not None:
+            for stage, seconds in res.result.diagnostics.stage_seconds.items():
+                totals[stage] = totals.get(stage, 0.0) + seconds
+    return totals
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     """Benchmark x machine x scheme matrix through the batch engine."""
+    import json
+
     from repro.engine.cache import ResultCache, default_cache
     from repro.engine.events import EventBus, JsonlSink, StderrProgressSink
     from repro.engine.executor import EngineConfig, run_jobs
@@ -219,6 +236,59 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 ipc,
             ]
         )
+    hits = sum(1 for r in results if r.cached)
+    hit_rate = hits / len(results) if results else 0.0
+    stage_totals = _stage_breakdown(results)
+    stage_sum = sum(stage_totals.values()) or 1.0
+
+    if args.format == "json":
+        stats = cache.stats() if cache.enabled else None
+        payload = {
+            "cells": [
+                {
+                    "benchmark": row[0],
+                    "machine": row[1],
+                    "scheme": row[2],
+                    "loops": row[3],
+                    "ok": row[4],
+                    "failed": row[5],
+                    "timeout": row[6],
+                    "ipc": row[7],
+                }
+                for row in rows
+            ],
+            "jobs": len(results),
+            "elapsed_seconds": round(elapsed, 6),
+            "cache": {
+                "enabled": cache.enabled,
+                "hits": hits,
+                "lookups": len(results),
+                "hit_rate": round(hit_rate, 6),
+                "entries": stats.entries if stats else 0,
+                "total_bytes": stats.total_bytes if stats else 0,
+            },
+            "stages": {
+                stage: {
+                    "seconds": round(seconds, 6),
+                    "share": round(seconds / stage_sum, 6),
+                }
+                for stage, seconds in sorted(
+                    stage_totals.items(), key=lambda kv: -kv[1]
+                )
+            },
+            "failures": [
+                {
+                    "tag": res.tag,
+                    "outcome": res.outcome.value,
+                    "error_kind": res.error_kind.value,
+                    "error": res.error,
+                }
+                for res in failures
+            ],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+
     print(
         format_table(
             ["benchmark", "machine", "scheme", "loops", "ok", "failed",
@@ -227,12 +297,23 @@ def cmd_bench(args: argparse.Namespace) -> int:
             title="bench matrix",
         )
     )
-    hits = sum(1 for r in results if r.cached)
-    hit_rate = 100.0 * hits / len(results) if results else 0.0
+    if stage_totals:
+        print(
+            format_table(
+                ["stage", "seconds", "share %"],
+                [
+                    [stage, seconds, 100.0 * seconds / stage_sum]
+                    for stage, seconds in sorted(
+                        stage_totals.items(), key=lambda kv: -kv[1]
+                    )
+                ],
+                title="per-stage compile time",
+            )
+        )
     if cache.enabled:
         stats = cache.stats()
         cache_line = (
-            f"{hits}/{len(results)} hits ({hit_rate:.1f}%), "
+            f"{hits}/{len(results)} hits ({100.0 * hit_rate:.1f}%), "
             f"{stats.entries} entries on disk ({stats.total_bytes / 1024:.0f} KiB)"
         )
     else:
@@ -241,7 +322,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if failures:
         print(f"{len(failures)} loops did not compile:")
         for res in failures[:10]:
-            print(f"  {res.tag}: [{res.outcome.value}] {res.error}")
+            kind = f"/{res.error_kind.value}" if res.error_kind.value else ""
+            print(f"  {res.tag}: [{res.outcome.value}{kind}] {res.error}")
         if len(failures) > 10:
             print(f"  ... and {len(failures) - 10} more")
     return 0
@@ -390,6 +472,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet",
         action="store_true",
         help="suppress the stderr progress line",
+    )
+    p.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format: human tables or one JSON document",
     )
     p.set_defaults(func=cmd_bench)
 

@@ -32,6 +32,7 @@ from repro.engine.executor import EngineConfig, run_jobs
 from repro.engine.jobs import (
     ENGINE_SCHEMA_VERSION,
     CompileJob,
+    ErrorKind,
     JobResult,
     Outcome,
 )
@@ -41,6 +42,7 @@ __all__ = [
     "CacheStats",
     "CompileJob",
     "EngineConfig",
+    "ErrorKind",
     "Event",
     "EventBus",
     "EventKind",

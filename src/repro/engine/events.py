@@ -49,6 +49,8 @@ class Event:
         ii: achieved II for successful compilations.
         mii: the loop's MII for successful compilations.
         error: CompileError text for ERROR events.
+        error_kind: failure taxonomy value (see
+            :class:`repro.engine.jobs.ErrorKind`) for non-OK events.
         timestamp: UNIX time the event was emitted.
     """
 
@@ -59,6 +61,7 @@ class Event:
     ii: int | None = None
     mii: int | None = None
     error: str = ""
+    error_kind: str = ""
     timestamp: float = 0.0
 
     def to_dict(self) -> dict:
@@ -77,6 +80,8 @@ class Event:
             data["mii"] = self.mii
         if self.error:
             data["error"] = self.error
+        if self.error_kind:
+            data["error_kind"] = self.error_kind
         return data
 
 

@@ -33,7 +33,7 @@ from concurrent.futures.process import BrokenProcessPool
 
 from repro.engine.cache import ResultCache, default_cache
 from repro.engine.events import Event, EventBus, EventKind
-from repro.engine.jobs import CompileJob, JobResult, Outcome, run_job
+from repro.engine.jobs import CompileJob, ErrorKind, JobResult, Outcome, run_job
 
 #: Environment variable with the default worker count for library use.
 JOBS_ENV = "REPRO_ENGINE_JOBS"
@@ -154,6 +154,7 @@ def _timed_run(job: CompileJob, key: str, timeout: float | None) -> JobResult:
             tag=job.tag,
             outcome=Outcome.TIMEOUT,
             error=f"exceeded {timeout:g}s wall-clock budget",
+            error_kind=ErrorKind.TIMEOUT,
         )
     result.duration = time.perf_counter() - start
     return result
@@ -179,6 +180,7 @@ def _event_for(result: JobResult) -> Event:
         ii=result.result.ii if result.ok else None,
         mii=result.result.mii if result.ok else None,
         error=result.error,
+        error_kind=result.error_kind.value,
     )
 
 
@@ -272,6 +274,7 @@ def _run_pool(
                             tag=jobs[index].tag,
                             outcome=Outcome.ERROR,
                             error="worker process died (retry exhausted)",
+                            error_kind=ErrorKind.WORKER_DIED,
                         )
                 except Exception as exc:  # worker-raised, deterministic
                     results[index] = JobResult(
@@ -279,5 +282,6 @@ def _run_pool(
                         tag=jobs[index].tag,
                         outcome=Outcome.ERROR,
                         error=f"{type(exc).__name__}: {exc}",
+                        error_kind=ErrorKind.INTERNAL,
                     )
         queue = retry

@@ -1,19 +1,41 @@
 """End-to-end compilation pipeline and evaluation metrics.
 
-:func:`~repro.pipeline.driver.compile_loop` runs Figure 2's loop —
-partition, (optionally) replicate, schedule, and raise the II on
-failure — and returns a :class:`~repro.pipeline.driver.CompileResult`
-carrying the kernel plus the cause of every II increase (Figure 1's
-statistics). :mod:`repro.pipeline.metrics` turns kernels plus loop
+:mod:`repro.pipeline.passes` decomposes Figure 2's loop into a
+composable pass pipeline — partition, bus feasibility, a
+scheme-specific planning pass, placement, scheduling — run under an
+:class:`~repro.pipeline.passes.IIEscalationPolicy`, with compiler
+variants held in a string-keyed scheme registry.
+:func:`~repro.pipeline.driver.compile_loop` is the stable entry point
+over that registry and returns a
+:class:`~repro.pipeline.driver.CompileResult` carrying the kernel, the
+cause of every II increase (Figure 1's statistics) and per-stage
+diagnostics. :mod:`repro.pipeline.metrics` turns kernels plus loop
 profiles into the paper's IPC / added-instruction / communication
 numbers, and :mod:`repro.pipeline.report` renders them as text tables.
 """
 
 from repro.pipeline.driver import (
+    CompileDiagnostics,
     CompileError,
     CompileResult,
     Scheme,
+    UnschedulableError,
     compile_loop,
+)
+from repro.pipeline.passes import (
+    CompilationContext,
+    IIEscalationPolicy,
+    JumpEscalation,
+    LinearEscalation,
+    Pass,
+    SchemeConfig,
+    StageFailure,
+    build_pass_stack,
+    find_min_ii,
+    register_scheme,
+    run_pass_pipeline,
+    scheme_names,
+    unregister_scheme,
 )
 from repro.pipeline.metrics import (
     AddedInstructionStats,
@@ -29,10 +51,25 @@ from repro.pipeline.metrics import (
 from repro.pipeline.report import format_table
 
 __all__ = [
+    "CompileDiagnostics",
     "CompileError",
     "CompileResult",
     "Scheme",
+    "UnschedulableError",
     "compile_loop",
+    "CompilationContext",
+    "IIEscalationPolicy",
+    "JumpEscalation",
+    "LinearEscalation",
+    "Pass",
+    "SchemeConfig",
+    "StageFailure",
+    "build_pass_stack",
+    "find_min_ii",
+    "register_scheme",
+    "run_pass_pipeline",
+    "scheme_names",
+    "unregister_scheme",
     "AddedInstructionStats",
     "BenchmarkMetrics",
     "CommStats",

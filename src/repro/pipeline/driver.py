@@ -1,17 +1,23 @@
-"""Figure 2's compilation loop: partition, replicate, schedule, retry.
+"""Figure 2's compilation loop as a thin facade over the pass pipeline.
 
-The driver starts at II = MII and repeats:
+The actual work lives in :mod:`repro.pipeline.passes`: each compiler
+variant ("scheme") is a registered *pass stack* — partition, bus
+feasibility, a scheme-specific replication-planning pass, optional
+section 5.1 length replication, placement, modulo scheduling — run by a
+generic driver loop that starts at II = MII, escalates the II through
+an :class:`~repro.pipeline.passes.IIEscalationPolicy` whenever a pass
+raises a typed failure, and records one :class:`FailureCause` per
+escalation (Figure 1's breakdown of why the II grows beyond the MII).
 
-1. partition the DDG (multilevel; refined whenever the II grows);
-2. check bus feasibility — the baseline scheduler requires
-   ``II_part <= II``, while the replication scheme instead runs the
-   section 3 algorithm and requires it to eliminate all excess
-   communications;
-3. modulo-schedule the placed graph; on any typed failure, record the
-   cause, raise the II and go back to 1.
-
-The recorded causes reproduce Figure 1's breakdown of why the II grows
-beyond the MII.
+This module keeps the stable public surface: the :class:`Scheme` enum
+naming the four built-in stacks, :func:`compile_loop` (the historical
+entry point, now a wrapper that folds its keyword flags into a
+:class:`~repro.pipeline.passes.SchemeConfig` and dispatches through the
+scheme registry), the :class:`CompileResult` value object, and the
+error taxonomy (:class:`CompileError` for bad inputs,
+:class:`UnschedulableError` for II-bound exhaustion). New variants
+register a pass stack with :func:`repro.pipeline.passes.register_scheme`
+instead of editing this file.
 """
 
 from __future__ import annotations
@@ -19,32 +25,35 @@ from __future__ import annotations
 import dataclasses
 import enum
 
-from repro.core.cloning import clone_values
-from repro.core.length import replicate_for_length
-from repro.core.macro import macro_replicate
-from repro.core.plan import EMPTY_PLAN, ReplicationPlan
-from repro.core.replicator import replicate
-from repro.ddg.analysis import mii
+from repro.core.plan import ReplicationPlan
 from repro.ddg.graph import Ddg
 from repro.machine.config import MachineConfig
-from repro.partition.multilevel import MultilevelPartitioner
 from repro.partition.partition import Partition
 from repro.schedule.kernel import Kernel
-from repro.schedule.placed import build_placed_graph
-from repro.schedule.scheduler import FailureCause, ScheduleFailure, schedule
+from repro.schedule.scheduler import FailureCause
 
 
 class CompileError(RuntimeError):
-    """The loop could not be scheduled within the II safety bound."""
+    """The compilation could not produce a kernel (bad input or bound)."""
+
+
+class UnschedulableError(CompileError):
+    """No II within the safety bound yielded a schedule.
+
+    Distinct from the base :class:`CompileError` (which also covers bad
+    inputs such as empty loops) so sweeps can tell genuine II-bound
+    exhaustion apart from malformed cells.
+    """
 
 
 class Scheme(enum.Enum):
-    """Which compiler variant to run.
+    """Which built-in compiler variant to run.
 
     BASELINE and REPLICATION are the paper's two bars; MACRO_REPLICATION
     is the section 5.2 alternative; VALUE_CLONING is the Kuras et al.
     related-work baseline (clone only root values and induction
-    variables).
+    variables). Each value doubles as the key of the corresponding pass
+    stack in the :mod:`repro.pipeline.passes` scheme registry.
     """
 
     BASELINE = "baseline"
@@ -54,6 +63,50 @@ class Scheme(enum.Enum):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Scheme.{self.name}"
+
+
+@dataclasses.dataclass
+class CompileDiagnostics:
+    """Where one compilation spent its effort.
+
+    Attributes:
+        stage_seconds: wall time per pass name, accumulated across every
+            II attempt.
+        partition_attempts: how many times the partition pass ran (one
+            per II attempt).
+        schedule_attempts: how many times the modulo scheduler ran
+            (attempts that failed earlier — e.g. bus-infeasible — never
+            reach it).
+        ii_trajectory: every II attempted, in order (strictly
+            increasing; the last entry is the achieved II).
+    """
+
+    stage_seconds: dict[str, float] = dataclasses.field(default_factory=dict)
+    partition_attempts: int = 0
+    schedule_attempts: int = 0
+    ii_trajectory: list[int] = dataclasses.field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall time summed over all stages."""
+        return sum(self.stage_seconds.values())
+
+    def add_stage_time(self, stage: str, seconds: float) -> None:
+        """Accumulate wall time against a pass name."""
+        self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (stage times rounded to microseconds)."""
+        return {
+            "stage_seconds": {
+                stage: round(seconds, 6)
+                for stage, seconds in self.stage_seconds.items()
+            },
+            "total_seconds": round(self.total_seconds, 6),
+            "partition_attempts": self.partition_attempts,
+            "schedule_attempts": self.schedule_attempts,
+            "ii_trajectory": list(self.ii_trajectory),
+        }
 
 
 @dataclasses.dataclass
@@ -67,7 +120,11 @@ class CompileResult:
         mii: the loop's minimum initiation interval.
         ii: the achieved initiation interval.
         causes: one :class:`FailureCause` per II increase along the way.
-        scheme: which compiler variant produced this result.
+        scheme: which compiler variant produced this result — a
+            :class:`Scheme` member for the built-in stacks, the registry
+            key string for schemes registered at runtime.
+        diagnostics: per-stage wall time, attempt counts and the full II
+            trajectory (None only for results built by hand).
     """
 
     kernel: Kernel
@@ -76,51 +133,41 @@ class CompileResult:
     mii: int
     ii: int
     causes: list[FailureCause]
-    scheme: Scheme
+    scheme: Scheme | str
+    diagnostics: CompileDiagnostics | None = None
 
     @property
     def ii_increase(self) -> int:
         """How far the final II sits above the MII."""
         return self.ii - self.mii
 
-
-def _plan_for(
-    scheme: Scheme,
-    partition: Partition,
-    machine: MachineConfig,
-    ii: int,
-    partitioner: MultilevelPartitioner,
-    spare_comms: int,
-) -> ReplicationPlan | None:
-    """Replication decisions at this II, or None when bus-infeasible."""
-    if scheme is Scheme.BASELINE:
-        if machine.is_clustered and partition.ii_part(machine) > ii:
-            return None
-        return EMPTY_PLAN
-    if scheme is Scheme.REPLICATION:
-        plan = replicate(partition, machine, ii, spare_comms=spare_comms)
-    elif scheme is Scheme.VALUE_CLONING:
-        plan = clone_values(partition, machine, ii)
-    else:
-        plan = macro_replicate(partition, machine, ii, partitioner.levels)
-    return plan if plan.feasible else None
+    @property
+    def scheme_name(self) -> str:
+        """Registry key of the scheme that produced this result."""
+        return self.scheme.value if isinstance(self.scheme, Scheme) else self.scheme
 
 
 def compile_loop(
     ddg: Ddg,
     machine: MachineConfig,
-    scheme: Scheme = Scheme.REPLICATION,
+    scheme: Scheme | str = Scheme.REPLICATION,
     length_replication: bool = False,
     copy_latency_override: int | None = None,
     max_ii: int | None = None,
     spare_comms: int = 0,
+    escalation=None,
 ) -> CompileResult:
     """Compile one loop for one machine; see the module docstring.
+
+    Back-compat wrapper over the scheme registry: the keyword flags are
+    folded into a :class:`~repro.pipeline.passes.SchemeConfig` and the
+    scheme's registered pass stack is run by
+    :func:`repro.pipeline.passes.run_pass_pipeline`.
 
     Args:
         ddg: the loop body.
         machine: the target machine.
-        scheme: baseline / replication / macro replication / cloning.
+        scheme: a :class:`Scheme` member or any registered scheme name.
         length_replication: additionally run the section 5.1 pass.
         copy_latency_override: section 5.1's zero-latency upper bound.
         max_ii: II safety bound (defaults to a generous multiple of the
@@ -128,63 +175,27 @@ def compile_loop(
         spare_comms: REPLICATION only — keep removing communications
             this far beyond the paper's stop rule (over-replication
             ablation; 0 reproduces the paper).
+        escalation: an :class:`~repro.pipeline.passes.IIEscalationPolicy`
+            (default: the suggested-II jump policy).
 
     Raises:
-        CompileError: when no II within the bound yields a schedule.
+        UnschedulableError: when no II within the bound yields a
+            schedule.
+        CompileError: when the input cannot be compiled at all (e.g. an
+            empty loop).
     """
-    if len(ddg) == 0:
-        raise CompileError(f"loop {ddg.name!r} is empty")
-    loop_mii = mii(ddg, machine)
-    bound = max_ii if max_ii is not None else 16 * loop_mii + 4 * len(ddg) + 64
-    partitioner = MultilevelPartitioner(ddg=ddg, machine=machine)
-    causes: list[FailureCause] = []
+    from repro.pipeline.passes import SchemeConfig, run_pass_pipeline
 
-    ii = loop_mii
-    while ii <= bound:
-        partition = partitioner.partition(ii)
-        resource_ii = partition.min_resource_ii(machine)
-        if resource_ii > ii:
-            # When communications also overload the machine at this II,
-            # the bus is the binding constraint (Figure 1's taxonomy).
-            bus_bound = (
-                machine.is_clustered and partition.ii_part(machine) >= resource_ii
-            )
-            causes.append(
-                FailureCause.BUS if bus_bound else FailureCause.RESOURCES
-            )
-            ii += 1
-            continue
-        plan = _plan_for(scheme, partition, machine, ii, partitioner, spare_comms)
-        if plan is None:
-            causes.append(FailureCause.BUS)
-            ii += 1
-            continue
-        if length_replication:
-            plan = replicate_for_length(partition, machine, ii, plan)
-        graph = build_placed_graph(ddg, partition, machine, plan)
-        try:
-            kernel = schedule(
-                graph, machine, ii, copy_latency_override=copy_latency_override
-            )
-        except ScheduleFailure as failure:
-            next_ii = ii + 1
-            if failure.suggested_ii is not None and failure.suggested_ii > ii:
-                # Jump toward the estimated feasible II (capped — the
-                # estimate is a heuristic). One failure event = one
-                # recorded cause, however far the jump goes.
-                next_ii = max(ii + 1, min(failure.suggested_ii, 4 * ii))
-            causes.append(failure.cause)
-            ii = next_ii
-            continue
-        return CompileResult(
-            kernel=kernel,
-            partition=partition,
-            plan=plan,
-            mii=loop_mii,
-            ii=ii,
-            causes=causes,
-            scheme=scheme,
-        )
-    raise CompileError(
-        f"loop {ddg.name!r} unschedulable on {machine.name} within II <= {bound}"
+    config = SchemeConfig(
+        length_replication=length_replication,
+        copy_latency_override=copy_latency_override,
+        spare_comms=spare_comms,
+    )
+    return run_pass_pipeline(
+        ddg,
+        machine,
+        scheme,
+        config=config,
+        max_ii=max_ii,
+        escalation=escalation,
     )

@@ -25,7 +25,7 @@ import dataclasses
 import os
 
 from repro.engine.executor import EngineConfig, run_jobs
-from repro.engine.jobs import CompileJob, JobResult
+from repro.engine.jobs import CompileJob, ErrorKind, JobResult
 from repro.machine.config import MachineConfig, parse_config, unified_machine
 from repro.pipeline.driver import Scheme
 from repro.pipeline.metrics import (
@@ -106,6 +106,11 @@ class LoopOutcome:
     def error(self) -> str:
         """Failure text (empty when compiled)."""
         return self.job.error
+
+    @property
+    def error_kind(self) -> ErrorKind:
+        """Failure taxonomy: II-bound exhaustion vs bad input vs infra."""
+        return self.job.error_kind
 
 
 @dataclasses.dataclass
@@ -220,13 +225,20 @@ def failed_outcomes(
     benchmark: str,
     machine: MachineConfig,
     scheme: Scheme,
+    kind: ErrorKind | None = None,
     **kwargs,
 ) -> list[LoopOutcome]:
-    """Only the loops that failed (CompileError / timeout), with text."""
+    """Only the loops that failed (CompileError / timeout), with text.
+
+    Args:
+        kind: restrict to one :class:`~repro.engine.jobs.ErrorKind` —
+            e.g. ``ErrorKind.UNSCHEDULABLE`` for genuine II-bound
+            exhaustion, as opposed to bad inputs or timeouts.
+    """
     return [
         outcome
         for outcome in suite_outcomes(benchmark, machine, scheme, **kwargs)
-        if not outcome.ok
+        if not outcome.ok and (kind is None or outcome.error_kind is kind)
     ]
 
 

@@ -6,12 +6,10 @@ from repro.acyclic.listsched import AcyclicError, list_schedule
 from repro.core.plan import EMPTY_PLAN
 from repro.ddg.builder import DdgBuilder
 from repro.machine.config import parse_config, unified_machine
-from repro.machine.resources import FuKind
 from repro.partition.partition import Partition
 from repro.partition.multilevel import initial_partition
 from repro.schedule.placed import build_placed_graph
 from repro.workloads.acyclic import acyclic_block, acyclic_blocks
-from repro.workloads.patterns import daxpy
 
 
 def placed_for(ddg, machine):

@@ -7,7 +7,6 @@ from repro.codegen.program import flat_program, software_pipeline
 from repro.core.plan import EMPTY_PLAN
 from repro.core.replicator import replicate
 from repro.machine.config import parse_config, unified_machine
-from repro.machine.resources import FuKind
 from repro.partition.partition import Partition
 from repro.partition.multilevel import initial_partition
 from repro.schedule.placed import build_placed_graph

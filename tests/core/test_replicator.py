@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.replicator import replicate
-from repro.core.state import ReplicationState
 from repro.ddg.builder import DdgBuilder
 from repro.machine.config import parse_config, unified_machine
 from repro.partition.partition import Partition

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.plan import ReplicationPlan
 from repro.core.state import ReplicationState
 from repro.ddg.builder import DdgBuilder
 from repro.machine.config import parse_config

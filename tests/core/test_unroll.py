@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.unroll import UnrolledProfile, unroll_ddg
-from repro.ddg.analysis import mii, rec_mii
+from repro.ddg.analysis import rec_mii
 from repro.ddg.graph import EdgeKind
 from repro.machine.config import parse_config
 from repro.pipeline.driver import Scheme, compile_loop

@@ -70,6 +70,23 @@ class TestCorruptionTolerance:
         path.write_bytes(pickle.dumps({"schema": -1, "result": result}))
         assert store.get(key) is None
 
+    def test_previous_schema_version_is_a_clean_miss(self, store, compiled):
+        """Entries written before the diagnostics payload (schema 1)
+        must read as misses and be evicted, never deserialised as-if
+        current."""
+        key, result = compiled
+        path = store.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        stale = pickle.dumps(
+            {"schema": cache_mod.ENGINE_SCHEMA_VERSION - 1, "result": result}
+        )
+        path.write_bytes(stale)
+        assert store.get(key) is None
+        assert not path.exists()
+        # A fresh put under the current schema then hits normally.
+        store.put(key, result)
+        assert store.get(key) is not None
+
     def test_non_result_payload_is_a_miss(self, store, compiled):
         key, _ = compiled
         path = store.path_for(key)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.engine.jobs import CompileJob, Outcome, run_job
+from repro.engine.jobs import CompileJob, ErrorKind, Outcome, run_job
 from repro.pipeline.driver import Scheme
 from repro.workloads.patterns import daxpy, stencil5
 from repro.workloads.specfp import benchmark_loops
@@ -77,6 +77,14 @@ class TestHashSensitivity:
             != job(scheme=Scheme.REPLICATION).content_hash()
         )
 
+    def test_string_scheme_hashes_like_enum(self):
+        # Registry keys and enum members name the same scheme, so they
+        # must share cache entries.
+        assert (
+            job(scheme="replication").content_hash()
+            == job(scheme=Scheme.REPLICATION).content_hash()
+        )
+
     @pytest.mark.parametrize(
         "flag, value",
         [
@@ -104,3 +112,25 @@ class TestRunJob:
         assert result.outcome is Outcome.ERROR
         assert not result.ok and result.result is None
         assert "empty" in result.error
+
+
+class TestErrorKinds:
+    def test_ok_result_has_no_error_kind(self):
+        assert run_job(job()).error_kind is ErrorKind.NONE
+
+    def test_ii_exhaustion_is_unschedulable(self):
+        result = run_job(job(max_ii=1))
+        assert result.outcome is Outcome.ERROR
+        assert result.error_kind is ErrorKind.UNSCHEDULABLE
+
+    def test_bad_input_is_invalid_input(self):
+        from repro.ddg.graph import Ddg
+
+        result = run_job(job(Ddg("empty")))
+        assert result.outcome is Outcome.ERROR
+        assert result.error_kind is ErrorKind.INVALID_INPUT
+
+    def test_unknown_scheme_is_invalid_input(self):
+        result = run_job(job(scheme="no_such_scheme"))
+        assert result.outcome is Outcome.ERROR
+        assert result.error_kind is ErrorKind.INVALID_INPUT

@@ -4,7 +4,6 @@ import pytest
 
 from repro.ddg.builder import DdgBuilder
 from repro.machine.config import parse_config, unified_machine
-from repro.machine.resources import FuKind
 from repro.partition.multilevel import MultilevelPartitioner, initial_partition
 from repro.workloads.patterns import stencil5
 from repro.workloads.specfp import benchmark_loops

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.ddg.builder import DdgBuilder
-from repro.ddg.graph import EdgeKind
 from repro.machine.config import parse_config
 from repro.machine.resources import FuKind
 from repro.partition.partition import Partition, PartitionError

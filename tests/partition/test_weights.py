@@ -4,7 +4,6 @@ import pytest
 
 from repro.ddg.analysis import analyze
 from repro.ddg.builder import DdgBuilder
-from repro.ddg.graph import EdgeKind
 from repro.partition.weights import edge_weight, edge_weights
 
 

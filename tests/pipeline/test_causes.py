@@ -1,6 +1,5 @@
 """Cause attribution in the Figure 2 retry loop."""
 
-import pytest
 
 from repro.ddg.builder import DdgBuilder
 from repro.machine.config import parse_config

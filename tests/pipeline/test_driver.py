@@ -3,7 +3,12 @@
 import pytest
 
 from repro.machine.config import parse_config, unified_machine
-from repro.pipeline.driver import CompileError, Scheme, compile_loop
+from repro.pipeline.driver import (
+    CompileError,
+    Scheme,
+    UnschedulableError,
+    compile_loop,
+)
 from repro.schedule.scheduler import FailureCause
 from repro.sim.verifier import verify_kernel
 from repro.workloads.patterns import daxpy, dot_product, stencil5
@@ -71,8 +76,18 @@ class TestCompileLoop:
             compile_loop(Ddg("empty"), m2)
 
     def test_max_ii_bound_raises(self, m2):
-        with pytest.raises(CompileError):
+        with pytest.raises(UnschedulableError):
             compile_loop(daxpy(), m2, scheme=Scheme.BASELINE, max_ii=1)
+
+    def test_result_carries_diagnostics(self, m2):
+        result = compile_loop(stencil5(), m2, scheme=Scheme.REPLICATION)
+        assert result.diagnostics is not None
+        assert result.diagnostics.ii_trajectory[-1] == result.ii
+        assert result.diagnostics.total_seconds >= 0.0
+
+    def test_scheme_name_for_enum_results(self, m2):
+        result = compile_loop(stencil5(), m2, scheme=Scheme.REPLICATION)
+        assert result.scheme_name == "replication"
 
     def test_macro_scheme_compiles(self, m4):
         loop = benchmark_loops("swim", limit=1)[0]

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.engine.jobs import ErrorKind
 from repro.pipeline.driver import Scheme
 from repro.pipeline import experiments
 from repro.schedule.scheduler import FailureCause
@@ -117,6 +118,67 @@ class TestSuiteOutcomes:
             "mgrid", machine, Scheme.BASELINE, limit=2
         )
         assert first is second
+
+
+class TestErrorKinds:
+    @staticmethod
+    def _outcome(error_kind):
+        from repro.engine.jobs import JobResult, Outcome
+        from repro.workloads.loop import Loop
+        from repro.workloads.patterns import daxpy
+
+        ok = error_kind is ErrorKind.NONE
+        if ok:
+            from repro.pipeline.driver import compile_loop
+
+            result = compile_loop(
+                daxpy(), experiments.machine_for("2c1b2l64r")
+            )
+        else:
+            result = None
+        job = JobResult(
+            key="k",
+            tag="t",
+            outcome=Outcome.OK if ok else Outcome.ERROR,
+            result=result,
+            error="" if ok else "boom",
+            error_kind=error_kind,
+        )
+        return experiments.LoopOutcome(
+            loop=Loop(ddg=daxpy(), iterations=1, visits=1), job=job
+        )
+
+    def test_error_kind_surfaces_from_job(self):
+        outcome = self._outcome(ErrorKind.UNSCHEDULABLE)
+        assert outcome.error_kind is ErrorKind.UNSCHEDULABLE
+        assert not outcome.ok
+
+    def test_failed_outcomes_filters_by_kind(self, monkeypatch):
+        machine = experiments.machine_for("2c1b2l64r")
+        synthetic = [
+            self._outcome(ErrorKind.NONE),
+            self._outcome(ErrorKind.UNSCHEDULABLE),
+            self._outcome(ErrorKind.INVALID_INPUT),
+            self._outcome(ErrorKind.UNSCHEDULABLE),
+        ]
+        monkeypatch.setattr(
+            experiments, "suite_outcomes", lambda *a, **k: synthetic
+        )
+        failed = experiments.failed_outcomes(
+            "mgrid", machine, Scheme.BASELINE, limit=2
+        )
+        assert len(failed) == 3
+        unschedulable = experiments.failed_outcomes(
+            "mgrid",
+            machine,
+            Scheme.BASELINE,
+            kind=ErrorKind.UNSCHEDULABLE,
+            limit=2,
+        )
+        assert len(unschedulable) == 2
+        assert all(
+            o.error_kind is ErrorKind.UNSCHEDULABLE for o in unschedulable
+        )
 
 
 class TestAggregates:

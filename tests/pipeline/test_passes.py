@@ -1,0 +1,302 @@
+"""The composable pass pipeline: registry, escalation, diagnostics."""
+
+import pytest
+
+from repro.machine.config import parse_config
+from repro.pipeline.driver import (
+    CompileError,
+    Scheme,
+    UnschedulableError,
+    compile_loop,
+)
+from repro.pipeline.passes import (
+    BaselinePlanPass,
+    JumpEscalation,
+    LinearEscalation,
+    Pass,
+    ReplicatePlanPass,
+    SchemeConfig,
+    StageFailure,
+    standard_stack,
+    build_pass_stack,
+    register_scheme,
+    run_pass_pipeline,
+    scheme_names,
+    unregister_scheme,
+)
+from repro.schedule.scheduler import FailureCause, ScheduleFailure
+from repro.schedule.scheduler import schedule as real_schedule
+from repro.sim.verifier import verify_kernel
+from repro.workloads.patterns import daxpy, stencil5
+
+
+@pytest.fixture
+def m2():
+    return parse_config("2c1b2l64r")
+
+
+class TestRegistry:
+    def test_builtin_schemes_registered(self):
+        names = scheme_names()
+        for scheme in Scheme:
+            assert scheme.value in names
+
+    def test_unknown_scheme_is_a_compile_error(self, m2):
+        with pytest.raises(CompileError, match="unknown scheme"):
+            run_pass_pipeline(daxpy(), m2, "no_such_scheme")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_scheme(
+                "baseline", lambda config: standard_stack(BaselinePlanPass(), config)
+            )
+
+    def test_replace_allows_override(self):
+        builder = lambda config: standard_stack(BaselinePlanPass(), config)
+        register_scheme("tmp_scheme", builder)
+        try:
+            register_scheme("tmp_scheme", builder, replace=True)
+        finally:
+            unregister_scheme("tmp_scheme")
+
+    def test_stack_shape_matches_config(self):
+        plain = [p.name for p in build_pass_stack("replication", SchemeConfig())]
+        assert plain == ["partition", "feasibility", "replicate", "place",
+                         "schedule"]
+        with_length = [
+            p.name
+            for p in build_pass_stack(
+                "replication", SchemeConfig(length_replication=True)
+            )
+        ]
+        assert with_length == ["partition", "feasibility", "replicate",
+                               "length", "place", "schedule"]
+
+    def test_concrete_passes_satisfy_protocol(self):
+        for stage in build_pass_stack("replication", SchemeConfig()):
+            assert isinstance(stage, Pass)
+
+
+class _ReplicationOffAbovePass:
+    """Toy planning pass: replicate at small IIs, give up above a cap."""
+
+    name = "plan"
+
+    def __init__(self, threshold: int) -> None:
+        self.threshold = threshold
+        self._replicate = ReplicatePlanPass()
+        self._baseline = BaselinePlanPass()
+
+    def run(self, ctx) -> None:
+        if ctx.ii <= self.threshold:
+            self._replicate.run(ctx)
+        else:
+            self._baseline.run(ctx)
+
+
+class TestCustomScheme:
+    """A new scheme compiles end-to-end without editing driver.py."""
+
+    @pytest.fixture
+    def toy(self):
+        name = "toy_replication_off_above_ii"
+        register_scheme(
+            name,
+            lambda config: standard_stack(_ReplicationOffAbovePass(8), config),
+        )
+        yield name
+        unregister_scheme(name)
+
+    def test_compiles_and_verifies(self, toy, m2):
+        result = run_pass_pipeline(stencil5(), m2, toy)
+        verify_kernel(result.kernel)
+        assert result.scheme == toy
+        assert result.scheme_name == toy
+
+    def test_reachable_through_compile_loop(self, toy, m2):
+        result = compile_loop(stencil5(), m2, scheme=toy)
+        verify_kernel(result.kernel)
+        assert result.scheme == toy
+
+    def test_behaves_like_replication_below_threshold(self, toy, m2):
+        ours = run_pass_pipeline(stencil5(), m2, toy)
+        repl = compile_loop(stencil5(), m2, scheme=Scheme.REPLICATION)
+        assert ours.ii == repl.ii
+        assert ours.kernel.n_copy_ops() == repl.kernel.n_copy_ops()
+
+    def test_runs_through_the_engine(self, toy, m2):
+        from repro.engine.jobs import CompileJob, run_job
+
+        job = CompileJob(ddg=stencil5(), machine="2c1b2l64r", scheme=toy)
+        enum_job = CompileJob(
+            ddg=stencil5(), machine="2c1b2l64r", scheme=Scheme.REPLICATION
+        )
+        assert job.content_hash() != enum_job.content_hash()
+        result = run_job(job)
+        assert result.ok
+        assert result.result.scheme == toy
+
+
+class TestSchemeConfigParity:
+    def test_kwargs_fold_into_config(self, m2):
+        via_kwargs = compile_loop(
+            stencil5(),
+            m2,
+            scheme=Scheme.REPLICATION,
+            length_replication=True,
+            copy_latency_override=0,
+        )
+        via_config = run_pass_pipeline(
+            stencil5(),
+            m2,
+            Scheme.REPLICATION,
+            config=SchemeConfig(length_replication=True, copy_latency_override=0),
+        )
+        assert via_kwargs.ii == via_config.ii
+        assert via_kwargs.kernel.copy_latency_override == 0
+        assert via_config.kernel.copy_latency_override == 0
+
+
+class TestDiagnostics:
+    def test_stage_times_and_counts_recorded(self, m2):
+        result = compile_loop(stencil5(), m2, scheme=Scheme.REPLICATION)
+        diag = result.diagnostics
+        assert diag is not None
+        assert set(diag.stage_seconds) <= {
+            "partition", "feasibility", "replicate", "place", "schedule"
+        }
+        assert "partition" in diag.stage_seconds
+        assert diag.partition_attempts == len(diag.ii_trajectory)
+        assert diag.schedule_attempts >= 1
+        assert all(s >= 0.0 for s in diag.stage_seconds.values())
+
+    def test_trajectory_starts_at_mii_and_ends_at_ii(self, m2):
+        result = compile_loop(stencil5(), m2, scheme=Scheme.BASELINE)
+        trajectory = result.diagnostics.ii_trajectory
+        assert trajectory[0] == result.mii
+        assert trajectory[-1] == result.ii
+        assert trajectory == sorted(set(trajectory))  # strictly increasing
+
+    def test_to_dict_is_json_ready(self, m2):
+        import json
+
+        result = compile_loop(daxpy(), m2, scheme=Scheme.BASELINE)
+        payload = result.diagnostics.to_dict()
+        json.dumps(payload)
+        assert payload["ii_trajectory"] == result.diagnostics.ii_trajectory
+        assert payload["total_seconds"] >= 0.0
+
+
+class TestEscalationPolicies:
+    def test_linear_always_steps_by_one(self):
+        failure = ScheduleFailure(FailureCause.REGISTERS, "x", suggested_ii=99)
+        assert LinearEscalation().next_ii(5, failure) == 6
+
+    def test_jump_follows_suggestion(self):
+        failure = ScheduleFailure(FailureCause.REGISTERS, "x", suggested_ii=9)
+        assert JumpEscalation().next_ii(5, failure) == 9
+
+    def test_jump_caps_at_factor_times_ii(self):
+        failure = ScheduleFailure(FailureCause.REGISTERS, "x", suggested_ii=1000)
+        assert JumpEscalation().next_ii(5, failure) == 20
+        assert JumpEscalation(cap_factor=2).next_ii(5, failure) == 10
+
+    def test_jump_ignores_stale_suggestion(self):
+        failure = ScheduleFailure(FailureCause.REGISTERS, "x", suggested_ii=4)
+        assert JumpEscalation().next_ii(5, failure) == 6
+
+    def test_jump_without_suggestion_steps_by_one(self):
+        failure = StageFailure(FailureCause.BUS, "no estimate")
+        assert JumpEscalation().next_ii(5, failure) == 6
+
+
+class TestIIJumpInCompileLoop:
+    """Satellite: the suggested-II jump behaviour of the Fig. 2 loop."""
+
+    def _compile_with_forced_failures(self, monkeypatch, m2, failures):
+        """Make the first len(failures) schedule calls raise, then defer
+        to the real scheduler; returns the compile result."""
+        remaining = list(failures)
+
+        def flaky_schedule(graph, machine, ii, **kwargs):
+            if remaining:
+                raise remaining.pop(0)
+            return real_schedule(graph, machine, ii, **kwargs)
+
+        monkeypatch.setattr(
+            "repro.pipeline.passes.schedule", flaky_schedule
+        )
+        return compile_loop(stencil5(), m2, scheme=Scheme.BASELINE)
+
+    def test_jump_is_capped_at_4x(self, monkeypatch, m2):
+        result = self._compile_with_forced_failures(
+            monkeypatch,
+            m2,
+            [ScheduleFailure(FailureCause.REGISTERS, "f", suggested_ii=1000)],
+        )
+        trajectory = result.diagnostics.ii_trajectory
+        # The attempt after the forced failure sits at exactly 4x the II
+        # where the scheduler failed, not at the (huge) suggestion.
+        jumps = [
+            (a, b) for a, b in zip(trajectory, trajectory[1:]) if b > a + 1
+        ]
+        assert len(jumps) == 1
+        failing_ii, landed_ii = jumps[0]
+        assert landed_ii == 4 * failing_ii
+        assert 1000 not in trajectory
+
+    def test_exactly_one_cause_per_jump(self, monkeypatch, m2):
+        result = self._compile_with_forced_failures(
+            monkeypatch,
+            m2,
+            [
+                ScheduleFailure(FailureCause.REGISTERS, "a", suggested_ii=1000),
+                ScheduleFailure(FailureCause.RECURRENCES, "b", suggested_ii=1000),
+            ],
+        )
+        # However far each jump travelled, each failure recorded exactly
+        # one cause — so causes appear once, in failure order.
+        assert result.causes.count(FailureCause.REGISTERS) == 1
+        assert result.causes.count(FailureCause.RECURRENCES) == 1
+        regs = result.causes.index(FailureCause.REGISTERS)
+        recs = result.causes.index(FailureCause.RECURRENCES)
+        assert regs < recs
+
+    def test_trajectory_is_strictly_monotone_under_jumps(self, monkeypatch, m2):
+        result = self._compile_with_forced_failures(
+            monkeypatch,
+            m2,
+            [
+                ScheduleFailure(FailureCause.REGISTERS, "a", suggested_ii=7),
+                ScheduleFailure(FailureCause.REGISTERS, "b", suggested_ii=3),
+                ScheduleFailure(FailureCause.REGISTERS, "c"),
+            ],
+        )
+        trajectory = result.diagnostics.ii_trajectory
+        assert all(b > a for a, b in zip(trajectory, trajectory[1:]))
+        assert result.ii == trajectory[-1]
+
+    def test_stale_suggestion_still_advances(self, monkeypatch, m2):
+        result = self._compile_with_forced_failures(
+            monkeypatch,
+            m2,
+            [ScheduleFailure(FailureCause.REGISTERS, "f", suggested_ii=1)],
+        )
+        trajectory = result.diagnostics.ii_trajectory
+        assert all(b > a for a, b in zip(trajectory, trajectory[1:]))
+
+
+class TestErrorTaxonomy:
+    def test_exhaustion_raises_unschedulable(self, m2):
+        with pytest.raises(UnschedulableError):
+            compile_loop(daxpy(), m2, scheme=Scheme.BASELINE, max_ii=1)
+
+    def test_empty_loop_is_not_unschedulable(self, m2):
+        from repro.ddg.graph import Ddg
+
+        with pytest.raises(CompileError) as excinfo:
+            compile_loop(Ddg("empty"), m2)
+        assert not isinstance(excinfo.value, UnschedulableError)
+
+    def test_unschedulable_is_a_compile_error(self):
+        assert issubclass(UnschedulableError, CompileError)

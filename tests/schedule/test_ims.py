@@ -8,9 +8,10 @@ from repro.ddg.analysis import mii
 from repro.machine.config import parse_config, unified_machine
 from repro.partition.multilevel import MultilevelPartitioner
 from repro.partition.partition import Partition
+from repro.pipeline.passes import LinearEscalation, find_min_ii
 from repro.schedule.ims import ims_schedule
 from repro.schedule.placed import build_placed_graph
-from repro.schedule.scheduler import ScheduleFailure, schedule
+from repro.schedule.scheduler import FailureCause, ScheduleFailure, schedule
 from repro.sim.verifier import verify_kernel
 from repro.workloads.patterns import daxpy, dot_product, stencil5
 from repro.workloads.specfp import benchmark_loops
@@ -29,15 +30,17 @@ def placed_for(ddg, machine, ii, with_replication=False):
 
 
 def min_ii_with(scheduler, ddg, machine, lo):
-    for ii in range(lo, lo + 64):
+    """Linear search via the driver's shared escalation machinery."""
+
+    def attempt(ii):
         graph = placed_for(ddg, machine, ii)
         if machine.is_clustered and graph.n_comms() > machine.bus.capacity(ii):
-            continue
-        try:
-            return ii, scheduler(graph, machine, ii)
-        except ScheduleFailure:
-            continue
-    raise AssertionError("no feasible II found in range")
+            raise ScheduleFailure(
+                FailureCause.BUS, f"too many communications at II={ii}"
+            )
+        return scheduler(graph, machine, ii)
+
+    return find_min_ii(attempt, lo, lo + 63, LinearEscalation())
 
 
 class TestImsCorrectness:

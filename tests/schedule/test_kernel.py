@@ -8,7 +8,7 @@ from repro.partition.partition import Partition
 from repro.partition.multilevel import initial_partition
 from repro.schedule.placed import build_placed_graph
 from repro.schedule.scheduler import schedule
-from repro.workloads.patterns import daxpy, stencil5
+from repro.workloads.patterns import stencil5
 
 
 @pytest.fixture

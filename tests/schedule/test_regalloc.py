@@ -12,7 +12,6 @@ from repro.schedule.placed import build_placed_graph
 from repro.schedule.regalloc import (
     AllocationError,
     allocate,
-    allocate_cluster,
     verify_allocation,
 )
 from repro.schedule.registers import max_live

@@ -1,6 +1,5 @@
 """Register pressure estimation."""
 
-import pytest
 
 from repro.core.plan import EMPTY_PLAN
 from repro.ddg.builder import DdgBuilder

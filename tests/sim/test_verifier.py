@@ -9,7 +9,6 @@ from repro.ddg.builder import DdgBuilder
 from repro.machine.config import parse_config, unified_machine
 from repro.partition.partition import Partition
 from repro.partition.multilevel import initial_partition
-from repro.schedule.kernel import Kernel, ScheduledOp
 from repro.schedule.placed import build_placed_graph
 from repro.schedule.scheduler import schedule
 from repro.sim.verifier import VerificationError, verify_kernel

@@ -116,6 +116,38 @@ class TestBench:
         assert "(100.0%)" in warm
         engine_cache.reset_default_cache()
 
+    def test_text_report_includes_stage_breakdown(self, capsys):
+        main(["bench", "--benchmark", "mgrid", "--machine", "2c1b2l64r",
+              "--limit", "2", "--jobs", "1", "--scheme", "baseline",
+              "--quiet", "--no-cache"])
+        out = capsys.readouterr().out
+        assert "per-stage compile time" in out
+        assert "schedule" in out and "partition" in out
+
+    def test_json_format_is_machine_readable(self, capsys):
+        import json
+
+        assert (
+            main(["bench", "--benchmark", "mgrid", "--machine", "2c1b2l64r",
+                  "--limit", "2", "--jobs", "1", "--scheme", "baseline",
+                  "--quiet", "--no-cache", "--format", "json"])
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["jobs"] == 2
+        assert payload["cache"]["enabled"] is False
+        cell = payload["cells"][0]
+        assert cell["benchmark"] == "mgrid"
+        assert cell["scheme"] == "baseline"
+        assert cell["ok"] == 2 and cell["failed"] == 0
+        assert cell["ipc"] > 0
+        stages = payload["stages"]
+        assert "partition" in stages and "schedule" in stages
+        for stage in stages.values():
+            assert stage["seconds"] >= 0.0
+            assert 0.0 <= stage["share"] <= 1.0
+        assert payload["failures"] == []
+
     def test_events_file_is_jsonl(self, tmp_path, capsys):
         import json
 

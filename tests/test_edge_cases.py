@@ -1,6 +1,5 @@
 """Cross-cutting edge cases: tiny graphs, degenerate machines, limits."""
 
-import pytest
 
 from repro.codegen.program import flat_program, software_pipeline
 from repro.core.plan import EMPTY_PLAN, ReplicationPlan

@@ -3,7 +3,6 @@
 from repro.ddg.analysis import rec_mii
 from repro.workloads.acyclic import acyclic_block, acyclic_blocks
 from repro.workloads.patterns import dot_product
-from repro.workloads.specfp import benchmark_loops
 
 
 class TestAcyclicBlock:

@@ -1,6 +1,5 @@
 """Hand-shaped pattern loops."""
 
-import pytest
 
 from repro.ddg.analysis import rec_mii
 from repro.machine.resources import FuKind, OpClass

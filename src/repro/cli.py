@@ -163,6 +163,39 @@ def _stage_breakdown(results) -> dict[str, float]:
     return totals
 
 
+#: Diagnostics counters that are rates, not additive totals — the bench
+#: aggregation recomputes them from the summed raw counts instead.
+_RATE_COUNTERS = ("lazy_skip_rate", "analysis_memo_hit_rate")
+
+
+def _counter_totals(results) -> dict[str, float]:
+    """Sum diagnostics counters across jobs, recomputing the rates.
+
+    Counters come from the incremental move evaluator and the analysis
+    memo (see :mod:`repro.partition.incremental`); like the stage times
+    they travel with cached results, so warm runs report the original
+    compile effort.
+    """
+    totals: dict[str, float] = {}
+    for res in results:
+        if res.ok and res.result.diagnostics is not None:
+            for name, value in res.result.diagnostics.counters.items():
+                if name in _RATE_COUNTERS:
+                    continue
+                totals[name] = totals.get(name, 0.0) + value
+    scored = totals.get("lengths_computed", 0.0) + totals.get("lengths_skipped", 0.0)
+    if scored:
+        totals["lazy_skip_rate"] = totals.get("lengths_skipped", 0.0) / scored
+    lookups = totals.get("analysis_memo_hits", 0.0) + totals.get(
+        "analysis_memo_misses", 0.0
+    )
+    if lookups:
+        totals["analysis_memo_hit_rate"] = (
+            totals.get("analysis_memo_hits", 0.0) / lookups
+        )
+    return totals
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     """Benchmark x machine x scheme matrix through the batch engine."""
     import json
@@ -240,6 +273,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     hit_rate = hits / len(results) if results else 0.0
     stage_totals = _stage_breakdown(results)
     stage_sum = sum(stage_totals.values()) or 1.0
+    counter_totals = _counter_totals(results)
 
     if args.format == "json":
         stats = cache.stats() if cache.enabled else None
@@ -276,6 +310,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
                     stage_totals.items(), key=lambda kv: -kv[1]
                 )
             },
+            "counters": {
+                name: round(value, 6)
+                for name, value in sorted(counter_totals.items())
+            },
             "failures": [
                 {
                     "tag": res.tag,
@@ -308,6 +346,17 @@ def cmd_bench(args: argparse.Namespace) -> int:
                     )
                 ],
                 title="per-stage compile time",
+            )
+        )
+    if counter_totals:
+        print(
+            format_table(
+                ["counter", "value"],
+                [
+                    [name, round(value, 4)]
+                    for name, value in sorted(counter_totals.items())
+                ],
+                title="evaluator counters",
             )
         )
     if cache.enabled:

@@ -15,13 +15,16 @@ times and slack.
 
 from repro.ddg.graph import Ddg, DdgError, Edge, EdgeKind, Node
 from repro.ddg.analysis import (
+    AnalysisMemoStats,
     LoopAnalysis,
+    analysis_memo_stats,
     analyze,
     mii,
     rec_mii,
     res_mii,
 )
 from repro.ddg.builder import DdgBuilder
+from repro.ddg.csr import CsrView, csr_view
 from repro.ddg.io import dumps as ddg_dumps, loads as ddg_loads
 
 # repro.ddg.dot is NOT imported here: it depends on the partition and
@@ -37,8 +40,12 @@ __all__ = [
     "EdgeKind",
     "Node",
     "DdgBuilder",
+    "AnalysisMemoStats",
+    "CsrView",
     "LoopAnalysis",
+    "analysis_memo_stats",
     "analyze",
+    "csr_view",
     "mii",
     "rec_mii",
     "res_mii",

@@ -12,15 +12,25 @@ Modulo scheduling theory (section 2.2) needs three quantities:
   between the two and drives both the partitioner's edge weights and the
   swing-modulo-scheduling priority order.
 
-All computations here are from scratch (Tarjan SCCs, Bellman-Ford style
-relaxation) — no external graph library.
+All computations here are pure python (Tarjan SCCs, Bellman-Ford style
+relaxation) — no external graph library. The relaxations run over the
+flattened CSR view (:mod:`repro.ddg.csr`) of the graph, and
+:func:`analyze`/:func:`rec_mii` results are memoized per (graph
+version, II): the partitioner's edge weighting, the driver's MII
+computation and repeated II escalations all ask the same questions
+about the same graph, so the second ask is a dict hit. Mutating the
+graph bumps its :attr:`~repro.ddg.graph.Ddg.version` and invalidates
+the memo wholesale; :func:`analysis_memo_stats` exposes hit/miss
+counters for the engine diagnostics.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import math
+import weakref
 
+from repro.ddg import csr as csr_mod
 from repro.ddg.graph import Ddg, DdgError, Edge
 from repro.machine.config import MachineConfig
 from repro.machine.resources import FuKind
@@ -52,22 +62,80 @@ def _edge_weight(edge: Edge, src_latency: int, ii: int) -> int:
 def _has_positive_cycle(ddg: Ddg, ii: int) -> bool:
     """True when some dependence cycle has positive weight at ``ii``.
 
-    Bellman-Ford longest-path relaxation: if distances keep improving
-    after |V| rounds, a positive-weight cycle exists and the II is
-    infeasible for the recurrences.
+    Bellman-Ford longest-path relaxation over the CSR view: if
+    distances keep improving after |V| rounds, a positive-weight cycle
+    exists and the II is infeasible for the recurrences.
     """
-    dist = {uid: 0 for uid in ddg.node_ids()}
-    n = len(dist)
-    for round_index in range(n):
-        changed = False
-        for edge in ddg.edges():
-            weight = _edge_weight(edge, ddg.node(edge.src).latency, ii)
-            if dist[edge.src] + weight > dist[edge.dst]:
-                dist[edge.dst] = dist[edge.src] + weight
-                changed = True
-        if not changed:
-            return False
-    return True
+    return csr_mod.has_positive_cycle(csr_mod.csr_view(ddg), ii)
+
+
+# ----------------------------------------------------------------------
+# The per-graph analysis memo
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class AnalysisMemoStats:
+    """Hit/miss counters of one graph's analysis memo.
+
+    The counters survive memo invalidation (a graph mutation clears
+    the cached results, not the bookkeeping), so they describe the
+    graph's whole lifetime in this process.
+    """
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total memoized calls observed."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 when nothing was looked up)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclasses.dataclass
+class _AnalysisMemo:
+    version: int
+    entries: dict = dataclasses.field(default_factory=dict)
+    stats: AnalysisMemoStats = dataclasses.field(default_factory=AnalysisMemoStats)
+
+
+_MEMOS: "weakref.WeakKeyDictionary[Ddg, _AnalysisMemo]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _memo_for(ddg: Ddg) -> _AnalysisMemo:
+    memo = _MEMOS.get(ddg)
+    if memo is None:
+        memo = _AnalysisMemo(version=ddg.version)
+        _MEMOS[ddg] = memo
+    elif memo.version != ddg.version:
+        memo.version = ddg.version
+        memo.entries.clear()
+    return memo
+
+
+def analysis_memo_stats(ddg: Ddg) -> AnalysisMemoStats:
+    """Hit/miss counters of ``ddg``'s analysis memo (live object)."""
+    return _memo_for(ddg).stats
+
+
+def _memoized(ddg: Ddg, key, compute):
+    memo = _memo_for(ddg)
+    try:
+        result = memo.entries[key]
+    except KeyError:
+        memo.stats.misses += 1
+        result = compute()
+        memo.entries[key] = result
+        return result
+    memo.stats.hits += 1
+    return result
 
 
 def rec_mii(ddg: Ddg) -> int:
@@ -75,17 +143,22 @@ def rec_mii(ddg: Ddg) -> int:
 
     Binary search for the smallest II with no positive-weight cycle.
     The upper bracket is the sum of all latencies, which trivially
-    satisfies every recurrence.
+    satisfies every recurrence. Memoized per graph version.
     """
     if len(ddg) == 0:
         return 1
+    return _memoized(ddg, ("rec_mii",), lambda: _rec_mii_uncached(ddg))
+
+
+def _rec_mii_uncached(ddg: Ddg) -> int:
+    csr = csr_mod.csr_view(ddg)
     high = max(1, sum(node.latency for node in ddg.nodes()))
-    if _has_positive_cycle(ddg, high):  # pragma: no cover - defensive
+    if csr_mod.has_positive_cycle(csr, high):  # pragma: no cover - defensive
         raise DdgError("graph has a zero-distance cycle; not a valid loop DDG")
     low = 1
     while low < high:
         mid = (low + high) // 2
-        if _has_positive_cycle(ddg, mid):
+        if csr_mod.has_positive_cycle(csr, mid):
             low = mid + 1
         else:
             high = mid
@@ -211,40 +284,39 @@ class LoopAnalysis:
 def analyze(ddg: Ddg, ii: int, max_rounds: int | None = None) -> LoopAnalysis:
     """Compute ASAP/ALAP times at a candidate II.
 
-    Uses iterative longest-path relaxation; converges whenever
-    ``ii >= rec_mii(ddg)`` (no positive cycles). Raises
+    Uses iterative longest-path relaxation over the CSR view; converges
+    whenever ``ii >= rec_mii(ddg)`` (no positive cycles). Raises
     :class:`~repro.ddg.graph.DdgError` when asked to analyze an II below
     the recurrence bound (the relaxation would diverge).
+
+    Results are memoized per (graph version, II, round budget): callers
+    share the returned :class:`LoopAnalysis` and must not mutate it.
     """
     if len(ddg) == 0:
         return LoopAnalysis(ii=ii, asap={}, alap={}, length=0)
+    return _memoized(
+        ddg, ("analyze", ii, max_rounds), lambda: _analyze_uncached(ddg, ii, max_rounds)
+    )
+
+
+def _analyze_uncached(ddg: Ddg, ii: int, max_rounds: int | None) -> LoopAnalysis:
+    csr = csr_mod.csr_view(ddg)
     rounds = max_rounds if max_rounds is not None else len(ddg) + 1
-    asap = {uid: 0 for uid in ddg.node_ids()}
-    for round_index in range(rounds):
-        changed = False
-        for edge in ddg.edges():
-            bound = asap[edge.src] + _edge_weight(edge, ddg.node(edge.src).latency, ii)
-            if bound > asap[edge.dst]:
-                asap[edge.dst] = bound
-                changed = True
-        if not changed:
-            break
-    else:
+    weights = csr_mod.edge_weights_at(csr, ii)
+    asap = csr_mod.relax_asap(csr, weights, rounds)
+    if asap is None:
         raise DdgError(f"ASAP relaxation diverged: II={ii} below RecMII?")
 
-    length = max(asap[uid] + ddg.node(uid).latency for uid in ddg.node_ids())
+    length = max(begin + lat for begin, lat in zip(asap, csr.latency))
 
-    alap = {uid: length - ddg.node(uid).latency for uid in ddg.node_ids()}
-    for round_index in range(rounds):
-        changed = False
-        for edge in ddg.edges():
-            bound = alap[edge.dst] - _edge_weight(edge, ddg.node(edge.src).latency, ii)
-            if bound < alap[edge.src]:
-                alap[edge.src] = bound
-                changed = True
-        if not changed:
-            break
-    else:  # pragma: no cover - symmetric to the ASAP divergence
+    alap_start = [length - lat for lat in csr.latency]
+    alap = csr_mod.relax_alap(csr, weights, alap_start, rounds)
+    if alap is None:  # pragma: no cover - symmetric to the ASAP divergence
         raise DdgError(f"ALAP relaxation diverged: II={ii} below RecMII?")
 
-    return LoopAnalysis(ii=ii, asap=asap, alap=alap, length=length)
+    return LoopAnalysis(
+        ii=ii,
+        asap=dict(zip(csr.uids, asap)),
+        alap=dict(zip(csr.uids, alap)),
+        length=length,
+    )

@@ -1,0 +1,264 @@
+"""Flattened CSR view of a DDG and the longest-path relaxation kernels.
+
+The compiler's inner loops — ASAP/ALAP analysis, the RecMII positive
+cycle test, the pseudo-schedule's penalized critical path — are all
+Bellman-Ford style relaxations over the same edge set. Running them off
+the :class:`~repro.ddg.graph.Ddg` adjacency dicts pays a dict lookup
+and an attribute access per edge per round; this module flattens the
+graph once into parallel arrays (sources, destinations, latencies,
+distances, kinds, plus adjacency offsets) so every kernel is a tight
+loop over preextracted ints.
+
+Invariants the rest of the compiler relies on:
+
+* **Edge order is preserved**: the flat arrays list edges in exactly
+  ``ddg.edges()`` order, so a relaxation that does *not* converge
+  within its round budget produces bit-identical partial results to
+  the dict-based implementation it replaced (the pseudo-schedule
+  depends on this for determinism below the recurrence bound).
+* **Views are cached per graph** keyed on :attr:`Ddg.version`, so
+  mutating a graph invalidates its view; the cache is weak, so views
+  die with their graphs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import weakref
+
+from repro.ddg.graph import Ddg, EdgeKind
+from repro.machine.resources import FuKind
+
+#: FuKind members in a stable order; ``CsrView.fu_ord`` indexes this.
+FU_KINDS: tuple[FuKind, ...] = tuple(FuKind)
+
+_FU_ORD = {kind: index for index, kind in enumerate(FU_KINDS)}
+
+
+@dataclasses.dataclass(frozen=True)
+class CsrView:
+    """Immutable flattened form of one :class:`Ddg`.
+
+    Node arrays are indexed by *position* (0..n-1, ascending uid);
+    ``uids``/``index`` translate to and from graph uids. Edge arrays
+    are parallel and keep ``ddg.edges()`` order; ``reg_out``/``reg_in``
+    are CSR adjacency lists of REGISTER-edge neighbours only (the ones
+    partitioning cares about), as node positions.
+    """
+
+    uids: tuple[int, ...]
+    index: dict[int, int]
+    latency: tuple[int, ...]
+    is_store: tuple[bool, ...]
+    fu_ord: tuple[int, ...]
+    edge_src: tuple[int, ...]
+    edge_dst: tuple[int, ...]
+    edge_latency: tuple[int, ...]
+    edge_distance: tuple[int, ...]
+    edge_is_register: tuple[bool, ...]
+    reg_out_offsets: tuple[int, ...]
+    reg_out: tuple[int, ...]
+    reg_in_offsets: tuple[int, ...]
+    reg_in: tuple[int, ...]
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes in the view."""
+        return len(self.uids)
+
+    @property
+    def n_edges(self) -> int:
+        """Number of edges in the view."""
+        return len(self.edge_src)
+
+    def reg_out_neighbours(self, position: int) -> tuple[int, ...]:
+        """Positions of register consumers of the node at ``position``."""
+        lo, hi = self.reg_out_offsets[position], self.reg_out_offsets[position + 1]
+        return self.reg_out[lo:hi]
+
+    def reg_in_neighbours(self, position: int) -> tuple[int, ...]:
+        """Positions of register producers feeding ``position``."""
+        lo, hi = self.reg_in_offsets[position], self.reg_in_offsets[position + 1]
+        return self.reg_in[lo:hi]
+
+
+def _build(ddg: Ddg) -> CsrView:
+    uids = tuple(ddg.node_ids())
+    index = {uid: position for position, uid in enumerate(uids)}
+    latency = tuple(ddg.node(uid).latency for uid in uids)
+    is_store = tuple(ddg.node(uid).is_store for uid in uids)
+    fu_ord = tuple(_FU_ORD[ddg.node(uid).fu_kind] for uid in uids)
+
+    edge_src: list[int] = []
+    edge_dst: list[int] = []
+    edge_latency: list[int] = []
+    edge_distance: list[int] = []
+    edge_is_register: list[bool] = []
+    reg_out_lists: list[list[int]] = [[] for _ in uids]
+    reg_in_lists: list[list[int]] = [[] for _ in uids]
+    for edge in ddg.edges():
+        src, dst = index[edge.src], index[edge.dst]
+        edge_src.append(src)
+        edge_dst.append(dst)
+        edge_latency.append(latency[src])
+        edge_distance.append(edge.distance)
+        register = edge.kind is EdgeKind.REGISTER
+        edge_is_register.append(register)
+        if register:
+            reg_out_lists[src].append(dst)
+            reg_in_lists[dst].append(src)
+
+    def pack(lists: list[list[int]]) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        offsets = [0]
+        flat: list[int] = []
+        for entries in lists:
+            flat.extend(entries)
+            offsets.append(len(flat))
+        return tuple(offsets), tuple(flat)
+
+    reg_out_offsets, reg_out = pack(reg_out_lists)
+    reg_in_offsets, reg_in = pack(reg_in_lists)
+    return CsrView(
+        uids=uids,
+        index=index,
+        latency=latency,
+        is_store=is_store,
+        fu_ord=fu_ord,
+        edge_src=tuple(edge_src),
+        edge_dst=tuple(edge_dst),
+        edge_latency=tuple(edge_latency),
+        edge_distance=tuple(edge_distance),
+        edge_is_register=tuple(edge_is_register),
+        reg_out_offsets=reg_out_offsets,
+        reg_out=reg_out,
+        reg_in_offsets=reg_in_offsets,
+        reg_in=reg_in,
+    )
+
+
+_CACHE: "weakref.WeakKeyDictionary[Ddg, tuple[int, CsrView]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def csr_view(ddg: Ddg) -> CsrView:
+    """The (cached) CSR view of a graph, rebuilt after any mutation."""
+    cached = _CACHE.get(ddg)
+    if cached is not None and cached[0] == ddg.version:
+        return cached[1]
+    view = _build(ddg)
+    _CACHE[ddg] = (ddg.version, view)
+    return view
+
+
+# ----------------------------------------------------------------------
+# Relaxation kernels
+# ----------------------------------------------------------------------
+
+
+def edge_weights_at(csr: CsrView, ii: int) -> list[int]:
+    """Per-edge longest-path weight ``latency(src) - II * distance``."""
+    return [
+        latency - ii * distance
+        for latency, distance in zip(csr.edge_latency, csr.edge_distance)
+    ]
+
+
+def has_positive_cycle(csr: CsrView, ii: int) -> bool:
+    """Bellman-Ford positive-cycle test at a candidate II.
+
+    If longest-path distances keep improving after ``n`` rounds, some
+    dependence cycle has positive weight and the II violates a
+    recurrence.
+    """
+    n = csr.n_nodes
+    if n == 0:
+        return False
+    dist = [0] * n
+    weights = edge_weights_at(csr, ii)
+    srcs, dsts = csr.edge_src, csr.edge_dst
+    for _ in range(n):
+        changed = False
+        for src, dst, weight in zip(srcs, dsts, weights):
+            bound = dist[src] + weight
+            if bound > dist[dst]:
+                dist[dst] = bound
+                changed = True
+        if not changed:
+            return False
+    return True
+
+
+def relax_asap(
+    csr: CsrView, weights: list[int], rounds: int
+) -> list[int] | None:
+    """Forward longest-path fixpoint, or None on divergence."""
+    dist = [0] * csr.n_nodes
+    srcs, dsts = csr.edge_src, csr.edge_dst
+    for _ in range(rounds):
+        changed = False
+        for src, dst, weight in zip(srcs, dsts, weights):
+            bound = dist[src] + weight
+            if bound > dist[dst]:
+                dist[dst] = bound
+                changed = True
+        if not changed:
+            return dist
+    return None
+
+
+def relax_alap(
+    csr: CsrView, weights: list[int], start: list[int], rounds: int
+) -> list[int] | None:
+    """Backward longest-path fixpoint from ``start``, or None."""
+    dist = list(start)
+    srcs, dsts = csr.edge_src, csr.edge_dst
+    for _ in range(rounds):
+        changed = False
+        for src, dst, weight in zip(srcs, dsts, weights):
+            bound = dist[dst] - weight
+            if bound < dist[src]:
+                dist[src] = bound
+                changed = True
+        if not changed:
+            return dist
+    return None
+
+
+def penalized_length(
+    csr: CsrView,
+    cluster: list[int],
+    bus_latency: int,
+    ii: int,
+    rounds: int,
+) -> int:
+    """Critical path where cross-cluster register edges pay bus latency.
+
+    ``cluster`` maps node positions to clusters. On non-convergence (II
+    below the bus-augmented RecMII) the partial relaxation yields the
+    same pessimistic-but-deterministic estimate as the historical
+    dict-based implementation, because edges relax in identical order.
+    """
+    n = csr.n_nodes
+    if n == 0:
+        return 0
+    weights = []
+    for edge, weight in enumerate(edge_weights_at(csr, ii)):
+        if (
+            csr.edge_is_register[edge]
+            and cluster[csr.edge_src[edge]] != cluster[csr.edge_dst[edge]]
+        ):
+            weight += bus_latency
+        weights.append(weight)
+    start = [0] * n
+    srcs, dsts = csr.edge_src, csr.edge_dst
+    for _ in range(rounds):
+        changed = False
+        for src, dst, weight in zip(srcs, dsts, weights):
+            bound = start[src] + weight
+            if bound > start[dst]:
+                start[dst] = bound
+                changed = True
+        if not changed:
+            break
+    return max(begin + latency for begin, latency in zip(start, csr.latency))

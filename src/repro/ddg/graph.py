@@ -109,6 +109,17 @@ class Ddg:
         self._succ: dict[int, dict[tuple[int, EdgeKind], Edge]] = {}
         self._pred: dict[int, dict[tuple[int, EdgeKind], Edge]] = {}
         self._next_uid = 0
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Mutation counter; bumped by every structural change.
+
+        Derived views (:func:`repro.ddg.csr.csr_view`, the analysis
+        memo) key their caches on this so a mutated graph can never
+        serve stale results.
+        """
+        return self._version
 
     # ------------------------------------------------------------------
     # Construction
@@ -123,6 +134,7 @@ class Ddg:
         self._succ[node.uid] = {}
         self._pred[node.uid] = {}
         self._next_uid += 1
+        self._version += 1
         return node
 
     def add_edge(
@@ -152,6 +164,7 @@ class Ddg:
         edge = Edge(src=src_id, dst=dst_id, distance=distance, kind=kind)
         self._succ[src_id][key] = edge
         self._pred[dst_id][(src_id, kind)] = edge
+        self._version += 1
         return edge
 
     def remove_node(self, node: Node | int) -> None:
@@ -166,6 +179,7 @@ class Ddg:
         del self._succ[uid]
         del self._pred[uid]
         del self._nodes[uid]
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Queries
@@ -254,6 +268,7 @@ class Ddg:
         clone._succ = {uid: dict(adj) for uid, adj in self._succ.items()}
         clone._pred = {uid: dict(adj) for uid, adj in self._pred.items()}
         clone._next_uid = self._next_uid
+        clone._version = self._version
         return clone
 
     def subgraph_nodes(self, uids: Iterable[int]) -> list[Node]:

@@ -1,0 +1,352 @@
+"""Incremental move evaluation for the refinement hot path.
+
+Refinement (Figure 2's inner loop) scores hundreds of candidate
+single-node moves per loop, and historically paid for each one with a
+full :func:`~repro.partition.pseudo.pseudo_schedule` — an O(V·E)
+longest-path relaxation plus fresh load tables and a whole-graph
+communication recount — on a freshly copied
+:class:`~repro.partition.partition.Partition`. This module replaces
+that with a :class:`MoveEvaluator` that owns mutable state and updates
+it in O(degree) per :meth:`~MoveEvaluator.apply`/:meth:`~MoveEvaluator.undo`:
+
+* per-cluster, per-FU-kind load tables and totals;
+* per-cluster value-producer counts (the register floor);
+* per-node counts of *foreign* register out-edges, so the partition's
+  communication count is a running integer, not an edge scan;
+* per-node counts of foreign register neighbours, so the boundary (the
+  set of profitable move candidates) is *maintained*, not recomputed.
+
+Scoring exploits the pseudo-schedule's lexicographic key: the cheap
+prefix (capacity violation, II estimate, communication count) is O(1)
+from the maintained state, and the expensive ``length_estimate`` — the
+bus-penalized critical path — is only computed when the prefix ties,
+via the CSR relaxation kernel (:func:`repro.ddg.csr.penalized_length`).
+Every quantity matches the from-scratch ``pseudo_schedule`` bit for
+bit (the equivalence property test drives thousands of random moves to
+hold this line), so refinement decisions are unchanged — only cheaper.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.ddg.csr import FU_KINDS, csr_view, penalized_length
+from repro.machine.config import MachineConfig
+from repro.partition.partition import Partition
+from repro.partition.pseudo import PseudoSchedule
+
+
+@dataclasses.dataclass
+class EvaluatorStats:
+    """Effort counters of the incremental evaluator.
+
+    Accumulates across refinement calls (the multilevel partitioner
+    keeps one instance for a loop's whole II trajectory) and feeds the
+    ``CompileDiagnostics`` counters surfaced by ``repro bench``.
+
+    Attributes:
+        pseudo_evaluations: candidate moves scored.
+        lengths_computed: bus-penalized critical-path relaxations run
+            (the expensive part of a pseudo-schedule).
+        lengths_skipped: candidate scorings decided on the cheap
+            lexicographic prefix alone, with no relaxation.
+        moves_applied: O(degree) state updates performed.
+        moves_reverted: applied moves that were rolled back.
+        moves_accepted: moves kept by refinement.
+        refine_calls: refinement invocations observed.
+        refine_seconds: wall time spent inside refinement.
+    """
+
+    pseudo_evaluations: int = 0
+    lengths_computed: int = 0
+    lengths_skipped: int = 0
+    moves_applied: int = 0
+    moves_reverted: int = 0
+    moves_accepted: int = 0
+    refine_calls: int = 0
+    refine_seconds: float = 0.0
+
+    @property
+    def lazy_skip_rate(self) -> float:
+        """Fraction of candidate scorings that avoided the relaxation."""
+        total = self.lengths_computed + self.lengths_skipped
+        return self.lengths_skipped / total if total else 0.0
+
+    def as_counters(self) -> dict[str, float]:
+        """Flat dict for :class:`CompileDiagnostics` counters."""
+        return {
+            "pseudo_evaluations": self.pseudo_evaluations,
+            "lengths_computed": self.lengths_computed,
+            "lengths_skipped": self.lengths_skipped,
+            "moves_applied": self.moves_applied,
+            "moves_reverted": self.moves_reverted,
+            "moves_accepted": self.moves_accepted,
+            "refine_calls": self.refine_calls,
+            "refine_seconds": self.refine_seconds,
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class Move:
+    """One applied node move, undoable via :meth:`MoveEvaluator.undo`."""
+
+    uid: int
+    src_cluster: int
+    dst_cluster: int
+
+
+class MoveEvaluator:
+    """Mutable pseudo-schedule state for one (partition, machine, II).
+
+    The evaluator never mutates the partition it was built from; call
+    :meth:`to_partition` to materialize the current assignment.
+    """
+
+    def __init__(
+        self,
+        partition: Partition,
+        machine: MachineConfig,
+        ii: int,
+        stats: EvaluatorStats | None = None,
+    ) -> None:
+        self._machine = machine
+        self._ii = ii
+        self._stats = stats if stats is not None else EvaluatorStats()
+        self._ddg = partition.ddg
+        self._csr = csr_view(self._ddg)
+        self._n_clusters = partition.n_clusters
+        self._rounds = len(self._ddg) + 1
+        self._bus_count = machine.bus.count
+        self._bus_latency = machine.bus.latency
+        self._units = [
+            [machine.fu_count(cluster, kind) for kind in FU_KINDS]
+            for cluster in range(machine.n_clusters)
+        ]
+        self._registers = [
+            machine.registers(cluster) for cluster in machine.cluster_ids()
+        ]
+
+        csr = self._csr
+        self._cluster = [partition.cluster_of(uid) for uid in csr.uids]
+        cluster = self._cluster
+        self._load = [[0] * len(FU_KINDS) for _ in range(self._n_clusters)]
+        self._totals = [0] * self._n_clusters
+        self._producers = [0] * self._n_clusters
+        for position in range(csr.n_nodes):
+            home = cluster[position]
+            self._load[home][csr.fu_ord[position]] += 1
+            self._totals[home] += 1
+            if not csr.is_store[position]:
+                self._producers[home] += 1
+
+        self._foreign_out = [0] * csr.n_nodes
+        self._foreign_adj = [0] * csr.n_nodes
+        for position in range(csr.n_nodes):
+            home = cluster[position]
+            foreign_out = sum(
+                1
+                for consumer in csr.reg_out_neighbours(position)
+                if cluster[consumer] != home
+            )
+            self._foreign_out[position] = foreign_out
+            self._foreign_adj[position] = foreign_out + sum(
+                1
+                for producer in csr.reg_in_neighbours(position)
+                if cluster[producer] != home
+            )
+        self._n_coms = sum(1 for count in self._foreign_out if count)
+        self._boundary = {
+            position
+            for position, count in enumerate(self._foreign_adj)
+            if count
+        }
+
+    # ------------------------------------------------------------------
+    # Candidate enumeration (the maintained boundary)
+    # ------------------------------------------------------------------
+
+    def boundary(self) -> list[int]:
+        """Uids with a register neighbour in another cluster, ascending."""
+        uids = self._csr.uids
+        return [uids[position] for position in sorted(self._boundary)]
+
+    def move_targets(self, uid: int) -> list[int]:
+        """Clusters holding register neighbours of ``uid``, sorted."""
+        csr = self._csr
+        cluster = self._cluster
+        position = csr.index[uid]
+        home = cluster[position]
+        clusters = {
+            cluster[neighbour]
+            for neighbour in csr.reg_out_neighbours(position)
+        }
+        clusters.update(
+            cluster[neighbour]
+            for neighbour in csr.reg_in_neighbours(position)
+        )
+        clusters.discard(home)
+        return sorted(clusters)
+
+    # ------------------------------------------------------------------
+    # Moves
+    # ------------------------------------------------------------------
+
+    def apply(self, uid: int, cluster: int) -> Move:
+        """Move ``uid`` to ``cluster``; O(degree) state update."""
+        position = self._csr.index[uid]
+        source = self._cluster[position]
+        self._stats.moves_applied += 1
+        self._shift(position, cluster)
+        return Move(uid=uid, src_cluster=source, dst_cluster=cluster)
+
+    def undo(self, move: Move) -> None:
+        """Roll back the most recent :meth:`apply` of ``move``."""
+        self._stats.moves_reverted += 1
+        self._shift(self._csr.index[move.uid], move.src_cluster)
+
+    def redo(self, move: Move) -> None:
+        """Re-apply a move just undone (no stats churn)."""
+        self._shift(self._csr.index[move.uid], move.dst_cluster)
+
+    def _bump_adjacency(self, position: int, delta: int) -> None:
+        count = self._foreign_adj[position] + delta
+        self._foreign_adj[position] = count
+        if count == 0:
+            self._boundary.discard(position)
+        elif count == delta:  # crossed up from zero
+            self._boundary.add(position)
+
+    def _bump_foreign_out(self, position: int, delta: int) -> None:
+        count = self._foreign_out[position]
+        self._foreign_out[position] = count + delta
+        if count == 0 and delta > 0:
+            self._n_coms += 1
+        elif count > 0 and count + delta == 0:
+            self._n_coms -= 1
+
+    def _shift(self, position: int, to: int) -> None:
+        csr = self._csr
+        cluster = self._cluster
+        source = cluster[position]
+        if source == to:
+            return
+
+        kind = csr.fu_ord[position]
+        self._load[source][kind] -= 1
+        self._load[to][kind] += 1
+        self._totals[source] -= 1
+        self._totals[to] += 1
+        if not csr.is_store[position]:
+            self._producers[source] -= 1
+            self._producers[to] += 1
+
+        own_adjacency_delta = 0
+        own_out_delta = 0
+        for consumer in csr.reg_out_neighbours(position):
+            if consumer == position:
+                continue  # self loops move with the node
+            neighbour_cluster = cluster[consumer]
+            delta = (neighbour_cluster != to) - (neighbour_cluster != source)
+            if delta:
+                own_out_delta += delta
+                own_adjacency_delta += delta
+                self._bump_adjacency(consumer, delta)
+        for producer in csr.reg_in_neighbours(position):
+            if producer == position:
+                continue
+            neighbour_cluster = cluster[producer]
+            delta = (neighbour_cluster != to) - (neighbour_cluster != source)
+            if delta:
+                own_adjacency_delta += delta
+                self._bump_adjacency(producer, delta)
+                self._bump_foreign_out(producer, delta)
+        if own_out_delta:
+            self._bump_foreign_out(position, own_out_delta)
+        if own_adjacency_delta:
+            self._bump_adjacency(position, own_adjacency_delta)
+        cluster[position] = to
+
+    # ------------------------------------------------------------------
+    # Scoring (lexicographic key, expensive length computed on demand)
+    # ------------------------------------------------------------------
+
+    def nof_coms(self) -> int:
+        """Maintained count of values crossing clusters."""
+        return self._n_coms
+
+    def _min_resource_ii(self) -> int:
+        ii = 1
+        for cluster_loads, cluster_units in zip(self._load, self._units):
+            for count, units in zip(cluster_loads, cluster_units):
+                if count:
+                    ii = max(ii, -(-count // units))
+        return ii
+
+    def _register_floor_broken(self) -> bool:
+        return any(
+            producers > registers
+            for producers, registers in zip(self._producers, self._registers)
+        )
+
+    def prefix(self) -> tuple[bool, int, int]:
+        """The cheap key prefix (capacity violation, II estimate, coms).
+
+        O(clusters · kinds); never touches the relaxation kernel.
+        """
+        ii_res = self._min_resource_ii()
+        coms = self._n_coms
+        if self._bus_count:
+            ii_bus = (
+                self._bus_latency * math.ceil(coms / self._bus_count)
+                if coms
+                else 1
+            )
+            stranded_coms = False
+        else:
+            ii_bus = 1
+            stranded_coms = coms > 0
+        ii_estimate = max(self._ii, ii_res, ii_bus)
+        violation = (
+            ii_res > self._ii or self._register_floor_broken() or stranded_coms
+        )
+        return (violation, ii_estimate, coms)
+
+    def imbalance(self) -> int:
+        """Max minus min total load over clusters."""
+        return (max(self._totals) - min(self._totals)) if self._totals else 0
+
+    def length(self) -> int:
+        """Bus-penalized critical path at the current II estimate.
+
+        The expensive O(V·E) part of the score; callers should only ask
+        when the cheap prefix ties (:func:`repro.partition.refine.refine`
+        does, and the skip rate lands in :class:`EvaluatorStats`).
+        """
+        self._stats.lengths_computed += 1
+        if self._csr.n_nodes == 0:
+            return 0
+        ii_estimate = self.prefix()[1]
+        return penalized_length(
+            self._csr, self._cluster, self._bus_latency, ii_estimate, self._rounds
+        )
+
+    def pseudo(self) -> PseudoSchedule:
+        """The full pseudo-schedule of the current state.
+
+        Bit-identical to ``pseudo_schedule(self.to_partition(), ...)``;
+        forces the length, so prefer :meth:`prefix` in hot loops.
+        """
+        violation, ii_estimate, coms = self.prefix()
+        return PseudoSchedule(
+            capacity_violation=violation,
+            ii_estimate=ii_estimate,
+            nof_coms=coms,
+            length_estimate=self.length(),
+            imbalance=self.imbalance(),
+        )
+
+    def to_partition(self) -> Partition:
+        """Materialize the current assignment as a fresh partition."""
+        assignment = dict(zip(self._csr.uids, self._cluster))
+        return Partition(self._ddg, assignment, self._n_clusters)

@@ -16,6 +16,7 @@ from repro.ddg.graph import Ddg
 from repro.machine.config import MachineConfig
 from repro.machine.resources import FuKind
 from repro.partition.coarsen import CoarseLevel, coarsen
+from repro.partition.incremental import EvaluatorStats
 from repro.partition.partition import Partition
 from repro.partition.refine import refine
 from repro.partition.weights import edge_weights
@@ -166,11 +167,15 @@ class MultilevelPartitioner:
         ddg: the loop being partitioned.
         machine: the target machine.
         levels: coarsening hierarchy, finest level first.
+        stats: evaluator effort counters accumulated over every
+            refinement this partitioner runs (all II bumps included);
+            the pipeline copies them into the compile diagnostics.
     """
 
     ddg: Ddg
     machine: MachineConfig
     levels: list[CoarseLevel] = dataclasses.field(default_factory=list)
+    stats: EvaluatorStats = dataclasses.field(default_factory=EvaluatorStats)
 
     def initial(self, ii: int) -> Partition:
         """Coarsen (cached) and produce the preliminary partition."""
@@ -196,7 +201,7 @@ class MultilevelPartitioner:
             assignment = {uid: 0 for uid in self.ddg.node_ids()}
             return Partition(self.ddg, assignment, 1)
         repaired = _repair_capacity(self.initial(ii), self.machine, ii)
-        return refine(repaired, self.machine, ii, move_budget)
+        return refine(repaired, self.machine, ii, move_budget, stats=self.stats)
 
 
 def initial_partition(ddg: Ddg, machine: MachineConfig, ii: int) -> Partition:

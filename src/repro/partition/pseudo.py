@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import dataclasses
 
-from repro.ddg.graph import EdgeKind
+from repro.ddg.csr import csr_view, penalized_length
 from repro.machine.config import MachineConfig
 from repro.partition.partition import Partition
 
@@ -62,29 +62,18 @@ class PseudoSchedule:
 def _penalized_length(
     partition: Partition, machine: MachineConfig, ii: int, max_rounds: int
 ) -> int:
-    """Critical path where cross-cluster register edges pay bus latency."""
+    """Critical path where cross-cluster register edges pay bus latency.
+
+    Runs the :func:`repro.ddg.csr.penalized_length` kernel; on
+    non-convergence (II below the bus-augmented RecMII) the partial
+    relaxation still yields a usable, pessimistic estimate.
+    """
     ddg = partition.ddg
     if len(ddg) == 0:
         return 0
-    start = {uid: 0 for uid in ddg.node_ids()}
-    for _ in range(max_rounds):
-        changed = False
-        for edge in ddg.edges():
-            latency = ddg.node(edge.src).latency
-            if (
-                edge.kind is EdgeKind.REGISTER
-                and partition.cluster_of(edge.src) != partition.cluster_of(edge.dst)
-            ):
-                latency += machine.bus.latency
-            bound = start[edge.src] + latency - ii * edge.distance
-            if bound > start[edge.dst]:
-                start[edge.dst] = bound
-                changed = True
-        if not changed:
-            break
-    # On non-convergence (II below the bus-augmented RecMII) the partial
-    # relaxation still yields a usable, pessimistic estimate.
-    return max(start[uid] + ddg.node(uid).latency for uid in ddg.node_ids())
+    csr = csr_view(ddg)
+    cluster = [partition.cluster_of(uid) for uid in csr.uids]
+    return penalized_length(csr, cluster, machine.bus.latency, ii, max_rounds)
 
 
 def pseudo_schedule(
@@ -92,7 +81,16 @@ def pseudo_schedule(
 ) -> PseudoSchedule:
     """Score a partition; see the module docstring for the metric."""
     ii_res = partition.min_resource_ii(machine)
-    ii_bus = partition.ii_part(machine) if machine.bus.count else 1
+    nof_coms = partition.nof_coms()
+    if machine.bus.count:
+        ii_bus = partition.ii_part(machine)
+        stranded_coms = False
+    else:
+        # No fabric at all: no finite II ever carries a communication,
+        # so any cross-cluster value is a hard capacity violation (the
+        # II estimate stays honest at the resource/candidate level).
+        ii_bus = 1
+        stranded_coms = nof_coms > 0
     ii_estimate = max(ii, ii_res, ii_bus)
 
     rounds = len(partition.ddg) + 1
@@ -112,9 +110,9 @@ def pseudo_schedule(
     )
 
     return PseudoSchedule(
-        capacity_violation=ii_res > ii or register_floor_broken,
+        capacity_violation=ii_res > ii or register_floor_broken or stranded_coms,
         ii_estimate=ii_estimate,
-        nof_coms=partition.nof_coms(),
+        nof_coms=nof_coms,
         length_estimate=length,
         imbalance=imbalance,
     )

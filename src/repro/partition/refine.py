@@ -9,47 +9,28 @@ stops at a local optimum or when the move budget runs out.
 Move candidates are restricted to *boundary* nodes — nodes with at least
 one register neighbour in another cluster — because interior moves can
 only create communications, never remove them.
+
+Candidates are scored through :class:`~repro.partition.incremental.MoveEvaluator`:
+each trial move is an O(degree) state update instead of a partition copy
+plus a from-scratch pseudo-schedule, and the expensive critical-path
+length is only relaxed when the cheap lexicographic prefix (capacity,
+II estimate, communications) ties the incumbent — a comparison that is
+decision-equivalent to ordering the full
+:attr:`~repro.partition.pseudo.PseudoSchedule.key`, because the first
+differing component decides a lexicographic order.
 """
 
 from __future__ import annotations
 
-from repro.ddg.graph import EdgeKind
+import time
+
 from repro.machine.config import MachineConfig
+from repro.partition.incremental import EvaluatorStats, MoveEvaluator
 from repro.partition.partition import Partition
-from repro.partition.pseudo import pseudo_schedule
 
 #: Upper bound on accepted moves per refinement call, to bound runtime
 #: on large loops (each accepted move rescans the boundary).
 _DEFAULT_MOVE_BUDGET = 64
-
-
-def _boundary_nodes(partition: Partition) -> list[int]:
-    """Nodes with a register neighbour placed in a different cluster."""
-    ddg = partition.ddg
-    boundary = []
-    for uid in ddg.node_ids():
-        home = partition.cluster_of(uid)
-        neighbours = [
-            e.dst for e in ddg.out_edges(uid) if e.kind is EdgeKind.REGISTER
-        ] + [e.src for e in ddg.in_edges(uid) if e.kind is EdgeKind.REGISTER]
-        if any(partition.cluster_of(n) != home for n in neighbours):
-            boundary.append(uid)
-    return boundary
-
-
-def _neighbour_clusters(partition: Partition, uid: int) -> set[int]:
-    """Clusters holding register neighbours of ``uid`` (move targets)."""
-    ddg = partition.ddg
-    home = partition.cluster_of(uid)
-    clusters = set()
-    for edge in ddg.out_edges(uid):
-        if edge.kind is EdgeKind.REGISTER:
-            clusters.add(partition.cluster_of(edge.dst))
-    for edge in ddg.in_edges(uid):
-        if edge.kind is EdgeKind.REGISTER:
-            clusters.add(partition.cluster_of(edge.src))
-    clusters.discard(home)
-    return clusters
 
 
 def refine(
@@ -57,27 +38,66 @@ def refine(
     machine: MachineConfig,
     ii: int,
     move_budget: int = _DEFAULT_MOVE_BUDGET,
+    stats: EvaluatorStats | None = None,
 ) -> Partition:
     """Improve ``partition`` by single-node moves at a candidate II.
 
     Returns a partition whose pseudo-schedule key is <= the input's;
-    the input object is never mutated.
+    the input object is never mutated (and is returned as-is when no
+    move improves it). ``stats`` accumulates evaluator effort counters
+    across calls when provided.
     """
-    best = partition
-    best_score = pseudo_schedule(best, machine, ii).key
+    started = time.perf_counter()
+    if stats is None:
+        stats = EvaluatorStats()
+    stats.refine_calls += 1
 
-    for _ in range(move_budget):
-        improved = False
-        for uid in _boundary_nodes(best):
-            for cluster in sorted(_neighbour_clusters(best, uid)):
-                candidate = best.with_move(uid, cluster)
-                score = pseudo_schedule(candidate, machine, ii).key
-                if score < best_score:
-                    best, best_score = candidate, score
+    evaluator = MoveEvaluator(partition, machine, ii, stats)
+    best_prefix = evaluator.prefix()
+    best_length: int | None = None  # relaxed lazily, on the first prefix tie
+    best_imbalance = evaluator.imbalance()
+    accepted = 0
+
+    try:
+        for _ in range(move_budget):
+            improved = False
+            for uid in evaluator.boundary():
+                for cluster in evaluator.move_targets(uid):
+                    move = evaluator.apply(uid, cluster)
+                    stats.pseudo_evaluations += 1
+                    prefix = evaluator.prefix()
+                    if prefix > best_prefix:
+                        stats.lengths_skipped += 1
+                        evaluator.undo(move)
+                        continue
+                    if prefix < best_prefix:
+                        stats.lengths_skipped += 1
+                        length: int | None = None
+                        imbalance = evaluator.imbalance()
+                    else:
+                        if best_length is None:
+                            # The incumbent's length was never needed
+                            # until now; flip the move off to measure it.
+                            evaluator.undo(move)
+                            best_length = evaluator.length()
+                            evaluator.redo(move)
+                        length = evaluator.length()
+                        imbalance = evaluator.imbalance()
+                        if (length, imbalance) >= (best_length, best_imbalance):
+                            evaluator.undo(move)
+                            continue
+                    best_prefix = prefix
+                    best_length = length
+                    best_imbalance = imbalance
+                    accepted += 1
+                    stats.moves_accepted += 1
                     improved = True
                     break
-            if improved:
+                if improved:
+                    break
+            if not improved:
                 break
-        if not improved:
-            break
-    return best
+    finally:
+        stats.refine_seconds += time.perf_counter() - started
+
+    return evaluator.to_partition() if accepted else partition

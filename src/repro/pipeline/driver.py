@@ -79,12 +79,16 @@ class CompileDiagnostics:
             reach it).
         ii_trajectory: every II attempted, in order (strictly
             increasing; the last entry is the achieved II).
+        counters: named effort counters from the optimization machinery
+            (incremental-evaluator work, lazy-length skip rate, analysis
+            memo hit rate); merged by the passes that own them.
     """
 
     stage_seconds: dict[str, float] = dataclasses.field(default_factory=dict)
     partition_attempts: int = 0
     schedule_attempts: int = 0
     ii_trajectory: list[int] = dataclasses.field(default_factory=list)
+    counters: dict[str, float] = dataclasses.field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:
@@ -94,6 +98,14 @@ class CompileDiagnostics:
     def add_stage_time(self, stage: str, seconds: float) -> None:
         """Accumulate wall time against a pass name."""
         self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
+
+    def merge_counters(self, counters: dict[str, float]) -> None:
+        """Overwrite named effort counters with their latest totals.
+
+        Passes report cumulative counters (the underlying stats objects
+        accumulate across II attempts), so the last merge wins.
+        """
+        self.counters.update(counters)
 
     def to_dict(self) -> dict:
         """JSON-ready form (stage times rounded to microseconds)."""
@@ -106,6 +118,10 @@ class CompileDiagnostics:
             "partition_attempts": self.partition_attempts,
             "schedule_attempts": self.schedule_attempts,
             "ii_trajectory": list(self.ii_trajectory),
+            "counters": {
+                name: round(value, 6) if isinstance(value, float) else value
+                for name, value in self.counters.items()
+            },
         }
 
 

@@ -39,7 +39,7 @@ from repro.core.length import replicate_for_length
 from repro.core.macro import macro_replicate
 from repro.core.plan import EMPTY_PLAN, ReplicationPlan
 from repro.core.replicator import replicate
-from repro.ddg.analysis import mii
+from repro.ddg.analysis import analysis_memo_stats, mii
 from repro.ddg.graph import Ddg
 from repro.machine.config import MachineConfig
 from repro.partition.multilevel import MultilevelPartitioner
@@ -155,6 +155,15 @@ class PartitionPass:
     def run(self, ctx: CompilationContext) -> None:
         ctx.diagnostics.partition_attempts += 1
         ctx.partition = ctx.partitioner.partition(ctx.ii)
+        # The stats objects are cumulative across II attempts, so the
+        # merge after the last attempt carries the compilation's totals.
+        counters = ctx.partitioner.stats.as_counters()
+        counters["lazy_skip_rate"] = ctx.partitioner.stats.lazy_skip_rate
+        memo = analysis_memo_stats(ctx.ddg)
+        counters["analysis_memo_hits"] = memo.hits
+        counters["analysis_memo_misses"] = memo.misses
+        counters["analysis_memo_hit_rate"] = memo.hit_rate
+        ctx.diagnostics.merge_counters(counters)
 
 
 class BusFeasibilityPass:

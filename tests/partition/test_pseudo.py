@@ -1,11 +1,29 @@
 """Pseudo-schedule partition metric."""
 
+import dataclasses
+
 import pytest
 
 from repro.ddg.builder import DdgBuilder
-from repro.machine.config import parse_config
+from repro.machine.config import MachineConfig, parse_config
 from repro.partition.partition import Partition
 from repro.partition.pseudo import pseudo_schedule
+
+
+def strip_buses(machine: MachineConfig) -> MachineConfig:
+    """A copy of ``machine`` with zero buses.
+
+    ``MachineConfig.__post_init__`` (rightly) rejects clustered machines
+    without a bus, so this models the hypothetical fabric through the
+    frozen-dataclass back door.
+    """
+    stripped = object.__new__(MachineConfig)
+    object.__setattr__(stripped, "name", machine.name + "-nobus")
+    object.__setattr__(stripped, "clusters", machine.clusters)
+    object.__setattr__(
+        stripped, "bus", dataclasses.replace(machine.bus, count=0)
+    )
+    return stripped
 
 
 @pytest.fixture
@@ -86,3 +104,32 @@ class TestPseudoSchedule:
         )
         ps = pseudo_schedule(cut, m2, 1)
         assert ps.ii_estimate >= cut.ii_part(m2)
+
+
+class TestZeroBusMachine:
+    """Regression: a bus-less machine must flag any communication.
+
+    The old code set ``ii_bus = 1`` when ``bus.count == 0`` even with
+    cross-cluster values, silently scoring an unimplementable partition
+    as feasible; it must be a capacity violation instead.
+    """
+
+    def test_communications_without_buses_violate_capacity(
+        self, two_chains, m2
+    ):
+        cut = split(
+            two_chains,
+            {"c0_0": 0, "c0_1": 1, "c0_2": 1, "c1_0": 1, "c1_1": 1, "c1_2": 1},
+        )
+        ps = pseudo_schedule(cut, strip_buses(m2), 2)
+        assert ps.nof_coms == 1
+        assert ps.capacity_violation
+
+    def test_clean_split_without_buses_is_fine(self, two_chains, m2):
+        clean = split(
+            two_chains,
+            {"c0_0": 0, "c0_1": 0, "c0_2": 0, "c1_0": 1, "c1_1": 1, "c1_2": 1},
+        )
+        ps = pseudo_schedule(clean, strip_buses(m2), 2)
+        assert ps.nof_coms == 0
+        assert not ps.capacity_violation

@@ -1,0 +1,85 @@
+"""Equivalence of the incremental evaluator and the from-scratch metric.
+
+Drives long random move sequences over generated SPECfp-like loops and
+checks, after *every* apply and undo, that the
+:class:`~repro.partition.incremental.MoveEvaluator`'s maintained state
+reproduces ``pseudo_schedule`` on a freshly materialized partition —
+the invariant the refinement rewrite rests on. Plain ``random.Random``
+seeding keeps the walk deterministic without widening the test deps.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.ddg.graph import EdgeKind
+from repro.machine.config import parse_config
+from repro.partition.incremental import MoveEvaluator
+from repro.partition.partition import Partition
+from repro.partition.pseudo import pseudo_schedule
+from repro.workloads.generator import LoopSpec, generate_loop
+
+#: (seed, machine, candidate II) cases; together they drive well over
+#: the 1000 random moves the acceptance bar asks for.
+CASES = [
+    (1, "2c1b2l64r", 2),
+    (2, "4c1b2l64r", 2),
+    (3, "4c2b4l64r", 3),
+    (4, "4c1b2l64r", 4),
+]
+
+MOVES_PER_CASE = 300  # x4 cases x ~1.5 checks/move >= 1000 comparisons
+
+
+def scan_boundary(partition: Partition) -> list[int]:
+    """From-scratch boundary scan (the old refine helper's definition)."""
+    ddg = partition.ddg
+    boundary = []
+    for uid in ddg.node_ids():
+        home = partition.cluster_of(uid)
+        neighbours = [
+            e.dst for e in ddg.out_edges(uid) if e.kind is EdgeKind.REGISTER
+        ] + [e.src for e in ddg.in_edges(uid) if e.kind is EdgeKind.REGISTER]
+        if any(partition.cluster_of(n) != home for n in neighbours):
+            boundary.append(uid)
+    return boundary
+
+
+def check_state(evaluator: MoveEvaluator, machine, ii) -> None:
+    partition = evaluator.to_partition()
+    assert evaluator.pseudo() == pseudo_schedule(partition, machine, ii)
+    assert evaluator.boundary() == scan_boundary(partition)
+
+
+@pytest.mark.parametrize("seed,machine_name,ii", CASES)
+def test_random_walk_matches_from_scratch(seed, machine_name, ii):
+    rng = random.Random(seed)
+    machine = parse_config(machine_name)
+    ddg = generate_loop(LoopSpec(name="walk"), rng, index=seed).ddg
+    uids = list(ddg.node_ids())
+    assignment = {uid: rng.randrange(machine.n_clusters) for uid in uids}
+    partition = Partition(ddg, assignment, machine.n_clusters)
+
+    evaluator = MoveEvaluator(partition, machine, ii)
+    check_state(evaluator, machine, ii)
+
+    undo_stack = []
+    for _ in range(MOVES_PER_CASE):
+        roll = rng.random()
+        if undo_stack and roll < 0.3:
+            # Unwind in LIFO order — the only order undo guarantees.
+            evaluator.undo(undo_stack.pop())
+        else:
+            uid = rng.choice(uids)
+            target = rng.randrange(machine.n_clusters)
+            undo_stack.append(evaluator.apply(uid, target))
+        check_state(evaluator, machine, ii)
+
+    while undo_stack:
+        evaluator.undo(undo_stack.pop())
+        check_state(evaluator, machine, ii)
+
+    # Fully unwound: back to the starting partition, bit for bit.
+    assert evaluator.to_partition().assignment() == assignment

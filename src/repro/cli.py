@@ -11,6 +11,9 @@ Commands:
   parallel engine (persistent cache, ``--jobs N`` fan-out) and print a
   summary table plus the cache hit-rate.
 * ``dot`` — emit Graphviz DOT for a loop (optionally partitioned).
+* ``trace`` — record a traced run of any other command, or analyse
+  existing trace files: flame summaries, per-stage histograms, trace
+  diffs, Chrome trace-event JSON for Perfetto / ``chrome://tracing``.
 
 Examples::
 
@@ -19,6 +22,9 @@ Examples::
     python -m repro suite --machine 4c1b2l64r --benchmark su2cor --limit 8
     python -m repro bench --machine 4c1b2l64r --benchmark su2cor --jobs 4
     python -m repro dot --loop dot_product --machine 2c1b2l64r --partition
+    python -m repro trace --summary --record -- bench --jobs 4
+    python -m repro trace run.jsonl --chrome run.chrome.json
+    python -m repro trace --diff before.jsonl after.jsonl
 """
 
 from __future__ import annotations
@@ -165,7 +171,9 @@ def _stage_breakdown(results) -> dict[str, float]:
 
 #: Diagnostics counters that are rates, not additive totals — the bench
 #: aggregation recomputes them from the summed raw counts instead.
-_RATE_COUNTERS = ("lazy_skip_rate", "analysis_memo_hit_rate")
+#: (Names are ``<stage>.<counter>`` since the obs metrics registry
+#: namespaces every counter by the pass that produced it.)
+_RATE_COUNTERS = ("partition.lazy_skip_rate", "partition.analysis_memo_hit_rate")
 
 
 def _counter_totals(results) -> dict[str, float]:
@@ -183,15 +191,19 @@ def _counter_totals(results) -> dict[str, float]:
                 if name in _RATE_COUNTERS:
                     continue
                 totals[name] = totals.get(name, 0.0) + value
-    scored = totals.get("lengths_computed", 0.0) + totals.get("lengths_skipped", 0.0)
+    scored = totals.get("partition.lengths_computed", 0.0) + totals.get(
+        "partition.lengths_skipped", 0.0
+    )
     if scored:
-        totals["lazy_skip_rate"] = totals.get("lengths_skipped", 0.0) / scored
-    lookups = totals.get("analysis_memo_hits", 0.0) + totals.get(
-        "analysis_memo_misses", 0.0
+        totals["partition.lazy_skip_rate"] = (
+            totals.get("partition.lengths_skipped", 0.0) / scored
+        )
+    lookups = totals.get("partition.analysis_memo_hits", 0.0) + totals.get(
+        "partition.analysis_memo_misses", 0.0
     )
     if lookups:
-        totals["analysis_memo_hit_rate"] = (
-            totals.get("analysis_memo_hits", 0.0) / lookups
+        totals["partition.analysis_memo_hit_rate"] = (
+            totals.get("partition.analysis_memo_hits", 0.0) / lookups
         )
     return totals
 
@@ -378,6 +390,65 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Record a traced run, or analyse/convert existing trace files."""
+    from repro.obs import spans as obs
+    from repro.obs.export import read_trace, write_chrome_trace, write_spans
+    from repro.obs.summary import diff_summary, flame_summary, stage_summary
+
+    if args.record is not None:
+        command = list(args.record)
+        if command and command[0] == "--":
+            command = command[1:]
+        if not command:
+            # "--record -- bench ...": the explicit "--" ends option
+            # parsing, so argparse routed the command to the positional
+            # inputs instead of the REMAINDER.
+            command = list(args.inputs)
+        if not command:
+            print("trace --record needs a command, e.g. "
+                  "trace --record -- bench --jobs 4", file=sys.stderr)
+            return 2
+        if command[0] == "trace":
+            print("trace --record cannot record itself", file=sys.stderr)
+            return 2
+        # No default path: were one set, the inner ``main`` call's own
+        # trace-at-exit hook would drain the spans before we could.
+        with obs.force_enabled():
+            code = main(command)
+            spans = obs.tracer().drain_wire()
+        count = write_spans(spans, args.out)
+        print(f"wrote {count} spans to {args.out}")
+        if args.chrome:
+            events = write_chrome_trace(spans, args.chrome)
+            print(f"wrote {events} Chrome trace events to {args.chrome}")
+        if args.summary:
+            print(flame_summary(spans, top=args.top))
+            print(stage_summary(spans))
+        return code
+
+    if args.diff:
+        if len(args.inputs) != 2:
+            print("trace --diff needs exactly two trace files", file=sys.stderr)
+            return 2
+        before, after = (read_trace(path) for path in args.inputs)
+        print(diff_summary(before, after, top=args.top))
+        return 0
+
+    if not args.inputs:
+        print("trace needs trace files (or --record -- <command>)",
+              file=sys.stderr)
+        return 2
+    spans = [record for path in args.inputs for record in read_trace(path)]
+    if args.chrome:
+        events = write_chrome_trace(spans, args.chrome)
+        print(f"wrote {events} Chrome trace events to {args.chrome}")
+    if args.summary or not args.chrome:
+        print(flame_summary(spans, top=args.top))
+        print(stage_summary(spans))
+    return 0
+
+
 def cmd_selfcheck(args: argparse.Namespace) -> int:
     from repro.pipeline.validation import self_check
 
@@ -530,6 +601,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=cmd_bench)
 
+    p = sub.add_parser(
+        "trace",
+        help="record or analyse compilation traces (flame, diff, Chrome)",
+    )
+    p.add_argument(
+        "inputs",
+        nargs="*",
+        metavar="TRACE",
+        help="JSONL trace files to analyse",
+    )
+    p.add_argument(
+        "--record",
+        nargs=argparse.REMAINDER,
+        default=None,
+        metavar="CMD",
+        help="run another repro command with tracing on; consumes the "
+        "rest of the line, so put it last: --summary --record -- bench",
+    )
+    p.add_argument(
+        "--out",
+        default="trace.jsonl",
+        metavar="FILE",
+        help="where --record writes the JSONL trace (default: trace.jsonl)",
+    )
+    p.add_argument(
+        "--summary",
+        action="store_true",
+        help="print the flame + per-stage summaries",
+    )
+    p.add_argument(
+        "--diff",
+        action="store_true",
+        help="compare two trace files (self time, B - A)",
+    )
+    p.add_argument(
+        "--chrome",
+        default=None,
+        metavar="FILE",
+        help="write Chrome trace-event JSON (load in Perfetto)",
+    )
+    p.add_argument(
+        "--top",
+        type=int,
+        default=15,
+        help="rows in the flame/diff tables (default: 15)",
+    )
+    p.set_defaults(func=cmd_trace)
+
     p = sub.add_parser("selfcheck", help="exercise every subsystem (seconds)")
     p.set_defaults(func=cmd_selfcheck)
 
@@ -549,9 +668,24 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Entry point; returns the process exit code."""
+    """Entry point; returns the process exit code.
+
+    When ``REPRO_TRACE`` names a file (any value other than the on/off
+    words), the spans collected during the command are appended to it on
+    the way out — so ``REPRO_TRACE=run.jsonl python -m repro bench``
+    records a trace without the ``trace`` wrapper.
+    """
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    code = args.func(args)
+    if args.command != "trace":
+        from repro.obs import spans as obs
+        from repro.obs.export import write_spans
+
+        path = obs.trace_path()
+        if obs.enabled() and path:
+            count = write_spans(obs.tracer().drain_wire(), path)
+            print(f"wrote {count} spans to {path}", file=sys.stderr)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via -m

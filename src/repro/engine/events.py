@@ -2,11 +2,16 @@
 
 The executor emits one :class:`Event` per job transition (started,
 finished, cache hit, timeout, error) to an :class:`EventBus`, which
-fans out to pluggable sinks. Two sinks ship with the engine:
+fans out to pluggable sinks. Since the :mod:`repro.obs` layer landed,
+a :class:`Sink` is a thin adapter over the shared
+:class:`repro.obs.export.Exporter` interface — event sinks and span
+exporters share one fan-out (:class:`repro.obs.export.ExportPipeline`)
+and one failure policy — while ``Event``/``EventKind`` remain the
+stable public API. Two sinks ship with the engine:
 
 * :class:`StderrProgressSink` — a single self-overwriting progress
-  line (``[ 42/678] 30 hits 2 failed su2cor/loop_17``) suitable for
-  interactive runs;
+  line (``[ 42/678] 30 cached ... 12.3s 6.1 jobs/s su2cor/loop_17``)
+  suitable for interactive runs;
 * :class:`JsonlSink` — one JSON object per event, append-only, for
   machine consumption and post-mortems.
 
@@ -22,6 +27,10 @@ import json
 import sys
 import time
 from collections.abc import Iterable
+
+# Submodule import (not the package facade): events is imported while
+# ``repro.obs``'s own __init__ may still be running.
+from repro.obs.export import Exporter, ExportPipeline
 
 
 class EventKind(enum.Enum):
@@ -85,11 +94,20 @@ class Event:
         return data
 
 
-class Sink:
-    """Event consumer interface (subclass and override)."""
+class Sink(Exporter):
+    """Event consumer interface (subclass and override :meth:`emit`).
+
+    Adapter over the observability exporter: ``export_event`` delegates
+    to :meth:`emit`, so any ``Sink`` plugs into an
+    :class:`~repro.obs.export.ExportPipeline` unchanged, and any
+    :class:`~repro.obs.export.Exporter` can consume engine events.
+    """
 
     def emit(self, event: Event) -> None:  # pragma: no cover - interface
         raise NotImplementedError
+
+    def export_event(self, event: Event) -> None:
+        self.emit(event)
 
     def close(self) -> None:
         """Flush/teardown; called once at the end of a run."""
@@ -104,6 +122,10 @@ TERMINAL_KINDS = frozenset(
 class StderrProgressSink(Sink):
     """Single-line live progress on stderr.
 
+    The line carries completion counts plus elapsed wall time and
+    throughput (terminal events per second since the sink saw its first
+    event), so a long sweep shows whether it is still making progress.
+
     Args:
         total: expected number of jobs (for the ``done/total`` figure).
         stream: output stream (default ``sys.stderr``); tests inject
@@ -117,8 +139,11 @@ class StderrProgressSink(Sink):
         self.hits = 0
         self.failed = 0
         self.timeouts = 0
+        self.started_at: float | None = None
 
     def emit(self, event: Event) -> None:
+        if self.started_at is None:
+            self.started_at = time.monotonic()
         if event.kind not in TERMINAL_KINDS:
             return
         self.done += 1
@@ -128,11 +153,14 @@ class StderrProgressSink(Sink):
             self.failed += 1
         elif event.kind is EventKind.TIMEOUT:
             self.timeouts += 1
+        elapsed = time.monotonic() - self.started_at
+        rate = self.done / elapsed if elapsed > 0 else 0.0
         width = len(str(self.total))
         line = (
             f"\r[{self.done:{width}d}/{self.total}] "
             f"{self.hits} cached, {self.failed} failed, "
-            f"{self.timeouts} timed out  {event.tag[:40]:<40}"
+            f"{self.timeouts} timed out  "
+            f"{elapsed:.1f}s {rate:.1f} jobs/s  {event.tag[:40]:<40}"
         )
         self.stream.write(line)
         self.stream.flush()
@@ -169,26 +197,32 @@ class CollectingSink(Sink):
 
 
 class EventBus:
-    """Fan events out to sinks; a broken sink never breaks the run."""
+    """Fan events out to sinks; a broken sink never breaks the run.
 
-    def __init__(self, sinks: Iterable[Sink] = ()) -> None:
-        self.sinks = list(sinks)
-        self.dropped = 0
+    A thin facade over :class:`repro.obs.export.ExportPipeline` (the
+    shared span/event fan-out): ``emit`` stamps unset timestamps and
+    forwards, ``dropped`` counts exporter failures.
+    """
+
+    def __init__(self, sinks: Iterable[Exporter] = ()) -> None:
+        self.pipeline = ExportPipeline(sinks)
+
+    @property
+    def sinks(self) -> list[Exporter]:
+        """The attached sinks (mutable, in attachment order)."""
+        return self.pipeline.exporters
+
+    @property
+    def dropped(self) -> int:
+        """Sink exceptions swallowed so far (emit and close)."""
+        return self.pipeline.dropped
 
     def emit(self, event: Event) -> None:
         """Deliver to every sink, stamping the time if unset."""
         if event.timestamp == 0.0:
             event = dataclasses.replace(event, timestamp=time.time())
-        for sink in self.sinks:
-            try:
-                sink.emit(event)
-            except Exception:
-                self.dropped += 1
+        self.pipeline.export_event(event)
 
     def close(self) -> None:
         """Close every sink (errors counted, not raised)."""
-        for sink in self.sinks:
-            try:
-                sink.close()
-            except Exception:
-                self.dropped += 1
+        self.pipeline.close()

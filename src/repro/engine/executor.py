@@ -34,6 +34,7 @@ from concurrent.futures.process import BrokenProcessPool
 from repro.engine.cache import ResultCache, default_cache
 from repro.engine.events import Event, EventBus, EventKind
 from repro.engine.jobs import CompileJob, ErrorKind, JobResult, Outcome, run_job
+from repro.obs import spans as obs
 
 #: Environment variable with the default worker count for library use.
 JOBS_ENV = "REPRO_ENGINE_JOBS"
@@ -161,8 +162,20 @@ def _timed_run(job: CompileJob, key: str, timeout: float | None) -> JobResult:
 
 
 def _execute_wire(wire: dict, key: str, timeout: float | None) -> JobResult:
-    """Worker-process entry point: rebuild the job and run it."""
-    return _timed_run(CompileJob.from_wire(wire), key, timeout)
+    """Worker-process entry point: rebuild the job and run it.
+
+    When tracing is on (the worker inherits ``REPRO_TRACE``), the job
+    runs under a worker-side ``engine.job`` span; every span the job
+    produced is drained from the worker tracer and shipped back on the
+    result, where :func:`run_jobs` re-parents it under the batch span.
+    """
+    job = CompileJob.from_wire(wire)
+    with obs.span("engine.job", tag=job.tag, key=key[:12], worker=True) as job_span:
+        result = _timed_run(job, key, timeout)
+        job_span.set(outcome=result.outcome.value)
+    if obs.enabled():
+        result.spans = obs.tracer().drain_wire()
+    return result
 
 
 def _event_for(result: JobResult) -> Event:
@@ -199,33 +212,48 @@ def run_jobs(
     keys = [job.content_hash() for job in jobs]
     results: list[JobResult | None] = [None] * len(jobs)
 
-    pending: list[int] = []
-    for index, (job, key) in enumerate(zip(jobs, keys)):
-        cached = cache.get(key)
-        if cached is not None:
-            results[index] = JobResult(
-                key=key,
-                tag=job.tag,
-                outcome=Outcome.OK,
-                result=cached,
-                cached=True,
+    with obs.span("engine.run_jobs", jobs=len(jobs), workers=workers) as batch:
+        pending: list[int] = []
+        for index, (job, key) in enumerate(zip(jobs, keys)):
+            cached = cache.get(key)
+            if cached is not None:
+                results[index] = JobResult(
+                    key=key,
+                    tag=job.tag,
+                    outcome=Outcome.OK,
+                    result=cached,
+                    cached=True,
+                )
+                bus.emit(_event_for(results[index]))
+            else:
+                pending.append(index)
+        batch.set(cache_hits=len(jobs) - len(pending))
+
+        if pending and workers <= 1:
+            for index in pending:
+                bus.emit(
+                    Event(kind=EventKind.STARTED, key=keys[index], tag=jobs[index].tag)
+                )
+                with obs.span(
+                    "engine.job", tag=jobs[index].tag, key=keys[index][:12]
+                ) as job_span:
+                    results[index] = _timed_run(jobs[index], keys[index], timeout)
+                    job_span.set(outcome=results[index].outcome.value)
+        elif pending:
+            _run_pool(
+                jobs, keys, pending, results, workers, timeout, config.retries, bus
             )
-            bus.emit(_event_for(results[index]))
-        else:
-            pending.append(index)
 
-    if pending and workers <= 1:
         for index in pending:
-            bus.emit(Event(kind=EventKind.STARTED, key=keys[index], tag=jobs[index].tag))
-            results[index] = _timed_run(jobs[index], keys[index], timeout)
-    elif pending:
-        _run_pool(jobs, keys, pending, results, workers, timeout, config.retries, bus)
-
-    for index in pending:
-        result = results[index]
-        if result.ok and not result.cached:
-            cache.put(result.key, result.result)
-        bus.emit(_event_for(result))
+            result = results[index]
+            if result.spans:
+                # Worker-side spans: re-parent this job's span tree (its
+                # root is the worker's ``engine.job``) under the batch.
+                obs.tracer().adopt(result.spans, parent_id=batch.span_id or None)
+                result.spans = []
+            if result.ok and not result.cached:
+                cache.put(result.key, result.result)
+            bus.emit(_event_for(result))
     return results  # type: ignore[return-value] — every slot is filled
 
 

@@ -1,0 +1,103 @@
+"""repro.obs — unified tracing and metrics for the whole toolchain.
+
+A zero-dependency observability layer with three pieces:
+
+* **Spans** (:mod:`repro.obs.spans`): hierarchical timed regions —
+  ``obs.span("pass.schedule", ii=ii)`` context managers, thread- and
+  process-safe, a near-no-op unless ``REPRO_TRACE`` is set. The engine
+  executor, every pipeline pass, the II-escalation loop, the modulo
+  scheduler and the partitioner's coarsen/refine stages are
+  instrumented; worker-process spans ship back through ``JobResult``
+  and are re-parented under their engine job's span.
+* **Metrics** (:mod:`repro.obs.metrics`): typed counters, gauges and
+  log-bucketed histograms behind a :class:`MetricsRegistry`, replacing
+  the ad-hoc counter dicts previously threaded through the pipeline;
+  flattened snapshots still surface via ``CompileDiagnostics.counters``.
+* **Exporters** (:mod:`repro.obs.export`): in-memory, JSONL, and Chrome
+  trace-event output (``chrome://tracing`` / Perfetto), shared with the
+  engine's event sinks. :mod:`repro.obs.summary` renders text flame
+  summaries, per-stage histograms and trace diffs for
+  ``python -m repro trace``.
+
+Typical use::
+
+    from repro import obs
+
+    with obs.span("my.stage", loop=ddg.name):
+        ...
+
+    REPRO_TRACE=trace.jsonl python -m repro bench --jobs 4
+    python -m repro trace trace.jsonl --summary
+"""
+
+from repro.obs.export import (
+    Exporter,
+    ExportPipeline,
+    InMemoryExporter,
+    JsonlExporter,
+    chrome_trace,
+    read_trace,
+    write_chrome_trace,
+    write_spans,
+)
+from repro.obs.metrics import (
+    LOG_SECONDS_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ScopedRegistry,
+)
+from repro.obs.spans import (
+    NOOP_SPAN,
+    TRACE_ENV,
+    Span,
+    Tracer,
+    disable,
+    enable,
+    enabled,
+    force_enabled,
+    span,
+    trace_path,
+    tracer,
+)
+from repro.obs.summary import (
+    aggregate,
+    diff_summary,
+    flame_summary,
+    self_times,
+    stage_summary,
+)
+
+__all__ = [
+    "Exporter",
+    "ExportPipeline",
+    "InMemoryExporter",
+    "JsonlExporter",
+    "chrome_trace",
+    "read_trace",
+    "write_chrome_trace",
+    "write_spans",
+    "LOG_SECONDS_BOUNDS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ScopedRegistry",
+    "NOOP_SPAN",
+    "TRACE_ENV",
+    "Span",
+    "Tracer",
+    "disable",
+    "enable",
+    "enabled",
+    "force_enabled",
+    "span",
+    "trace_path",
+    "tracer",
+    "aggregate",
+    "diff_summary",
+    "flame_summary",
+    "self_times",
+    "stage_summary",
+]

@@ -1,0 +1,387 @@
+"""Hierarchical spans: the tracing half of :mod:`repro.obs`.
+
+A *span* is one timed region of work — an engine job, a pipeline pass,
+a partitioner refinement — with a name, free-form attributes, and a
+parent link to the span that was open on the same thread when it
+started. Spans are created with the :func:`span` context manager::
+
+    with obs.span("pass.partition", ii=ii) as s:
+        ...
+        s.set(levels=len(levels))
+
+Tracing is **off by default**: unless ``REPRO_TRACE`` is set (or
+:func:`enable` is called), :func:`span` returns a shared no-op handle
+and the instrumented code pays one flag check per call site. When
+enabled, finished spans flow to the :class:`~repro.obs.export.Exporter`
+pipeline of the process-wide :class:`Tracer` (an in-memory exporter is
+always installed, so :meth:`Tracer.drain` works without setup).
+
+The tracer is thread-safe (per-thread span stacks, one lock around the
+finished list) and process-safe: its identity is keyed on ``os.getpid``,
+so a forked worker starts from a clean tracer instead of inheriting the
+parent's open spans, and worker-side spans travel back to the engine as
+plain dicts (:meth:`Span.to_wire`) to be re-parented with
+:meth:`Tracer.adopt`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import itertools
+import os
+import threading
+import time
+
+from repro.obs.export import Exporter, ExportPipeline, InMemoryExporter
+
+#: Environment variable enabling tracing. ``off``/``0``/``false``/empty
+#: disable (the default); ``on``/``1`` enable; any other value enables
+#: *and* names the JSONL file the CLI writes spans to at exit.
+TRACE_ENV = "REPRO_TRACE"
+
+_OFF_VALUES = frozenset({"", "0", "off", "false", "no"})
+_ON_VALUES = frozenset({"1", "on", "true", "yes"})
+
+
+def _env_state() -> tuple[bool, str | None]:
+    """(enabled, default trace path) from ``REPRO_TRACE``."""
+    raw = os.environ.get(TRACE_ENV, "").strip()
+    if raw.lower() in _OFF_VALUES:
+        return False, None
+    if raw.lower() in _ON_VALUES:
+        return True, None
+    return True, raw
+
+
+class Span:
+    """One finished-or-open timed region.
+
+    Attributes:
+        name: dotted span name (``"engine.job"``, ``"pass.schedule"``).
+        span_id: tracer-local id, unique within one process's tracer.
+        parent_id: id of the enclosing span, or None for roots.
+        start: UNIX time the span opened (cross-process comparable).
+        duration: wall-clock seconds (0.0 while still open).
+        attrs: free-form attributes from the call site and :meth:`set`.
+        error: True when the region exited with an exception.
+        pid / tid: process and thread that ran the region.
+    """
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "parent_id",
+        "start",
+        "duration",
+        "attrs",
+        "error",
+        "pid",
+        "tid",
+        "_tracer",
+        "_t0",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        span_id: int,
+        parent_id: int | None,
+        attrs: dict,
+        tracer: "Tracer | None" = None,
+    ) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attrs = attrs
+        self.start = time.time()
+        self.duration = 0.0
+        self.error = False
+        self.pid = os.getpid()
+        self.tid = threading.get_ident()
+        self._tracer = tracer
+        self._t0 = time.perf_counter()
+
+    def set(self, **attrs) -> None:
+        """Attach or overwrite attributes on the open span."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        if self._tracer is not None:
+            self._tracer._push(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration = time.perf_counter() - self._t0
+        if exc_type is not None:
+            self.error = True
+        if self._tracer is not None:
+            self._tracer._pop(self)
+        return False  # never swallow
+
+    def to_wire(self) -> dict:
+        """JSON/pickle-friendly dict (the trace-file line format)."""
+        record = {
+            "name": self.name,
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "start": round(self.start, 6),
+            "dur": round(self.duration, 6),
+            "pid": self.pid,
+            "tid": self.tid,
+        }
+        if self.error:
+            record["error"] = True
+        if self.attrs:
+            record["attrs"] = dict(self.attrs)
+        return record
+
+    @staticmethod
+    def from_wire(record: dict) -> "Span":
+        """Rebuild a finished span from :meth:`to_wire` output."""
+        span = Span.__new__(Span)
+        span.name = record["name"]
+        span.span_id = record["id"]
+        span.parent_id = record.get("parent")
+        span.start = record.get("start", 0.0)
+        span.duration = record.get("dur", 0.0)
+        span.attrs = dict(record.get("attrs", {}))
+        span.error = bool(record.get("error", False))
+        span.pid = record.get("pid", 0)
+        span.tid = record.get("tid", 0)
+        span._tracer = None
+        span._t0 = 0.0
+        return span
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Span({self.name!r}, id={self.span_id}, "
+            f"parent={self.parent_id}, dur={self.duration:.6f})"
+        )
+
+
+class _NoopSpan:
+    """Shared do-nothing handle returned while tracing is disabled."""
+
+    __slots__ = ()
+    name = ""
+    span_id = 0
+    parent_id = None
+    error = False
+
+    def set(self, **attrs) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Process-wide span collector with pluggable exporters."""
+
+    def __init__(self) -> None:
+        self.pid = os.getpid()
+        self.memory = InMemoryExporter()
+        self.pipeline = ExportPipeline([self.memory])
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # -- span lifecycle -------------------------------------------------
+
+    def span(self, name: str, **attrs) -> Span:
+        """Open a span parented under this thread's current span."""
+        parent = self.current_span()
+        with self._lock:
+            span_id = next(self._ids)
+        return Span(
+            name,
+            span_id,
+            parent.span_id if parent is not None else None,
+            attrs,
+            tracer=self,
+        )
+
+    def current_span(self) -> Span | None:
+        """The innermost open span on the calling thread, if any."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    def _push(self, span: Span) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif stack and span in stack:  # mis-nested exit: recover
+            stack.remove(span)
+        with self._lock:
+            self.pipeline.export_span(span)
+
+    # -- manual + cross-process records ---------------------------------
+
+    def record(
+        self,
+        name: str,
+        start: float,
+        duration: float,
+        parent_id: int | None = None,
+        **attrs,
+    ) -> Span:
+        """Append an already-measured span (no context manager)."""
+        with self._lock:
+            span_id = next(self._ids)
+        span = Span(name, span_id, parent_id, attrs, tracer=None)
+        span.start = start
+        span.duration = duration
+        with self._lock:
+            self.pipeline.export_span(span)
+        return span
+
+    def adopt(self, wire_spans: list[dict], parent_id: int | None) -> list[Span]:
+        """Ingest spans shipped from another process.
+
+        Ids are remapped onto this tracer's sequence (worker-local ids
+        collide across workers); internal parent links are preserved and
+        every *root* of the shipped batch is re-parented under
+        ``parent_id`` — this is how worker-side pass spans end up under
+        their engine job's span.
+        """
+        spans = [Span.from_wire(record) for record in wire_spans]
+        with self._lock:
+            remap = {span.span_id: next(self._ids) for span in spans}
+        adopted = []
+        for span in spans:
+            span.span_id = remap[span.span_id]
+            if span.parent_id in remap:
+                span.parent_id = remap[span.parent_id]
+            else:
+                span.parent_id = parent_id
+            with self._lock:
+                self.pipeline.export_span(span)
+            adopted.append(span)
+        return adopted
+
+    # -- consumption ----------------------------------------------------
+
+    def drain(self) -> list[Span]:
+        """Return and clear every finished span collected so far."""
+        with self._lock:
+            return self.memory.drain_spans()
+
+    def snapshot(self) -> list[Span]:
+        """Finished spans collected so far, without clearing."""
+        with self._lock:
+            return list(self.memory.spans)
+
+    def drain_wire(self) -> list[dict]:
+        """Drain, as wire dicts (for shipping through ``JobResult``)."""
+        return [span.to_wire() for span in self.drain()]
+
+    def add_exporter(self, exporter: Exporter) -> None:
+        """Plug an additional exporter into the live span stream."""
+        with self._lock:
+            self.pipeline.exporters.append(exporter)
+
+
+# ----------------------------------------------------------------------
+# Module-level state (per process, fork-aware)
+# ----------------------------------------------------------------------
+
+_state_lock = threading.Lock()
+_tracer: Tracer | None = None
+_enabled: bool | None = None  # None = not yet derived from the env
+_trace_path: str | None = None
+
+
+def _refresh_from_env() -> None:
+    global _enabled, _trace_path
+    _enabled, _trace_path = _env_state()
+
+
+def tracer() -> Tracer:
+    """The process-wide tracer (fresh after a fork)."""
+    global _tracer
+    current = _tracer
+    if current is None or current.pid != os.getpid():
+        with _state_lock:
+            if _tracer is None or _tracer.pid != os.getpid():
+                _tracer = Tracer()
+                if _tracer.pid != os.getpid():  # pragma: no cover - defensive
+                    raise RuntimeError("tracer pid mismatch")
+            current = _tracer
+    return current
+
+
+def enabled() -> bool:
+    """Is tracing on for this process?"""
+    global _enabled
+    if _enabled is None:
+        _refresh_from_env()
+    if _tracer is not None and _tracer.pid != os.getpid():
+        # Forked child: re-derive from the (inherited) environment so a
+        # worker of a tracing parent traces too, without parent state.
+        _refresh_from_env()
+        tracer()
+    return bool(_enabled)
+
+
+def enable(path: str | None = None) -> None:
+    """Turn tracing on (and optionally set the default trace path).
+
+    Also sets ``REPRO_TRACE`` so worker processes spawned later —
+    which re-derive their state from the environment — trace as well.
+    """
+    global _enabled, _trace_path
+    _enabled = True
+    if path is not None:
+        _trace_path = path
+    os.environ[TRACE_ENV] = path if path is not None else "on"
+
+
+def disable() -> None:
+    """Turn tracing off and drop any collected spans."""
+    global _enabled, _trace_path
+    _enabled = False
+    _trace_path = None
+    os.environ[TRACE_ENV] = "off"
+    if _tracer is not None and _tracer.pid == os.getpid():
+        _tracer.drain()
+
+
+def trace_path() -> str | None:
+    """Default trace output path (from ``REPRO_TRACE=<path>``), if any."""
+    if _enabled is None:
+        _refresh_from_env()
+    return _trace_path
+
+
+def span(name: str, **attrs):
+    """Open a span (a context manager); no-op while tracing is off."""
+    if not enabled():
+        return NOOP_SPAN
+    return tracer().span(name, **attrs)
+
+
+@contextlib.contextmanager
+def force_enabled(path: str | None = None):
+    """Temporarily enable tracing (tests and the ``trace`` CLI)."""
+    previous = os.environ.get(TRACE_ENV)
+    enable(path)
+    try:
+        yield tracer()
+    finally:
+        if previous is None:
+            os.environ.pop(TRACE_ENV, None)
+        else:
+            os.environ[TRACE_ENV] = previous
+        _refresh_from_env()

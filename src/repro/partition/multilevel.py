@@ -15,6 +15,7 @@ from repro.ddg.analysis import analyze, rec_mii
 from repro.ddg.graph import Ddg
 from repro.machine.config import MachineConfig
 from repro.machine.resources import FuKind
+from repro.obs.spans import span as obs_span
 from repro.partition.coarsen import CoarseLevel, coarsen
 from repro.partition.incremental import EvaluatorStats
 from repro.partition.partition import Partition
@@ -180,10 +181,12 @@ class MultilevelPartitioner:
     def initial(self, ii: int) -> Partition:
         """Coarsen (cached) and produce the preliminary partition."""
         if not self.levels:
-            analysis_ii = max(ii, rec_mii(self.ddg))
-            analysis = analyze(self.ddg, analysis_ii)
-            weights = edge_weights(self.ddg, analysis, self.machine.bus.latency)
-            self.levels = coarsen(self.ddg, weights, self.machine.n_clusters)
+            with obs_span("partition.coarsen", nodes=len(self.ddg)) as sp:
+                analysis_ii = max(ii, rec_mii(self.ddg))
+                analysis = analyze(self.ddg, analysis_ii)
+                weights = edge_weights(self.ddg, analysis, self.machine.bus.latency)
+                self.levels = coarsen(self.ddg, weights, self.machine.n_clusters)
+                sp.set(levels=len(self.levels))
         assignment = _assign_macro_nodes(self.ddg, self.levels[-1], self.machine)
         return Partition(self.ddg, assignment, self.machine.n_clusters)
 
@@ -200,8 +203,11 @@ class MultilevelPartitioner:
         if not self.machine.is_clustered:
             assignment = {uid: 0 for uid in self.ddg.node_ids()}
             return Partition(self.ddg, assignment, 1)
-        repaired = _repair_capacity(self.initial(ii), self.machine, ii)
-        return refine(repaired, self.machine, ii, move_budget, stats=self.stats)
+        initial = self.initial(ii)
+        with obs_span("partition.repair", ii=ii):
+            repaired = _repair_capacity(initial, self.machine, ii)
+        with obs_span("partition.refine", ii=ii, budget=move_budget):
+            return refine(repaired, self.machine, ii, move_budget, stats=self.stats)
 
 
 def initial_partition(ddg: Ddg, machine: MachineConfig, ii: int) -> Partition:

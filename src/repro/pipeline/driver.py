@@ -81,7 +81,9 @@ class CompileDiagnostics:
             increasing; the last entry is the achieved II).
         counters: named effort counters from the optimization machinery
             (incremental-evaluator work, lazy-length skip rate, analysis
-            memo hit rate); merged by the passes that own them.
+            memo hit rate), namespaced ``<stage>.<name>`` so two passes
+            can never clobber each other; produced by flattening the
+            compilation's :class:`repro.obs.metrics.MetricsRegistry`.
     """
 
     stage_seconds: dict[str, float] = dataclasses.field(default_factory=dict)
@@ -99,13 +101,21 @@ class CompileDiagnostics:
         """Accumulate wall time against a pass name."""
         self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
 
-    def merge_counters(self, counters: dict[str, float]) -> None:
+    def merge_counters(
+        self, counters: dict[str, float], stage: str | None = None
+    ) -> None:
         """Overwrite named effort counters with their latest totals.
 
         Passes report cumulative counters (the underlying stats objects
-        accumulate across II attempts), so the last merge wins.
+        accumulate across II attempts), so within one namespace the
+        last merge wins. ``stage`` prefixes every un-namespaced name as
+        ``<stage>.<name>`` — without it, two passes reporting the same
+        counter name would silently overwrite each other.
         """
-        self.counters.update(counters)
+        for name, value in counters.items():
+            if stage is not None and not name.startswith(f"{stage}."):
+                name = f"{stage}.{name}"
+            self.counters[name] = value
 
     def to_dict(self) -> dict:
         """JSON-ready form (stage times rounded to microseconds)."""

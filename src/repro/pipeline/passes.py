@@ -42,6 +42,8 @@ from repro.core.replicator import replicate
 from repro.ddg.analysis import analysis_memo_stats, mii
 from repro.ddg.graph import Ddg
 from repro.machine.config import MachineConfig
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import span as obs_span
 from repro.partition.multilevel import MultilevelPartitioner
 from repro.partition.partition import Partition
 from repro.pipeline.driver import (
@@ -100,11 +102,18 @@ class CompilationContext:
     """Mutable state one pass stack threads through an II attempt.
 
     Per-compilation fields (``ddg``, ``machine``, ``config``,
-    ``partitioner``, ``mii``, ``causes``, ``diagnostics``) persist
-    across II attempts — notably the partitioner, whose refinement
-    history the multilevel algorithm reuses as the II grows. Per-attempt
-    products (``partition``, ``plan``, ``graph``, ``kernel``) are
-    cleared by :meth:`begin_attempt`.
+    ``partitioner``, ``mii``, ``causes``, ``diagnostics``, ``metrics``)
+    persist across II attempts — notably the partitioner, whose
+    refinement history the multilevel algorithm reuses as the II grows.
+    Per-attempt products (``partition``, ``plan``, ``graph``,
+    ``kernel``) are cleared by :meth:`begin_attempt`.
+
+    ``metrics`` is the compilation's typed effort registry (see
+    :mod:`repro.obs.metrics`): each pass records through a view scoped
+    to its own name (``ctx.pass_metrics(self)``), so counters from
+    different passes land under distinct ``<stage>.<name>`` keys; the
+    driver flattens the registry into ``diagnostics.counters`` when the
+    compilation finishes.
     """
 
     ddg: Ddg
@@ -121,6 +130,11 @@ class CompilationContext:
     diagnostics: CompileDiagnostics = dataclasses.field(
         default_factory=CompileDiagnostics
     )
+    metrics: MetricsRegistry = dataclasses.field(default_factory=MetricsRegistry)
+
+    def pass_metrics(self, stage: "Pass"):
+        """Metrics view namespaced under the pass's stage name."""
+        return self.metrics.scoped(stage.name)
 
     def begin_attempt(self, ii: int) -> None:
         """Reset per-attempt products and record the II being tried."""
@@ -156,14 +170,15 @@ class PartitionPass:
         ctx.diagnostics.partition_attempts += 1
         ctx.partition = ctx.partitioner.partition(ctx.ii)
         # The stats objects are cumulative across II attempts, so the
-        # merge after the last attempt carries the compilation's totals.
-        counters = ctx.partitioner.stats.as_counters()
-        counters["lazy_skip_rate"] = ctx.partitioner.stats.lazy_skip_rate
+        # gauges after the last attempt carry the compilation's totals.
+        metrics = ctx.pass_metrics(self)
+        for name, value in ctx.partitioner.stats.as_counters().items():
+            metrics.gauge(name).set(value)
+        metrics.gauge("lazy_skip_rate").set(ctx.partitioner.stats.lazy_skip_rate)
         memo = analysis_memo_stats(ctx.ddg)
-        counters["analysis_memo_hits"] = memo.hits
-        counters["analysis_memo_misses"] = memo.misses
-        counters["analysis_memo_hit_rate"] = memo.hit_rate
-        ctx.diagnostics.merge_counters(counters)
+        metrics.gauge("analysis_memo_hits").set(memo.hits)
+        metrics.gauge("analysis_memo_misses").set(memo.misses)
+        metrics.gauge("analysis_memo_hit_rate").set(memo.hit_rate)
 
 
 class BusFeasibilityPass:
@@ -286,6 +301,7 @@ class SchedulePass:
 
     def run(self, ctx: CompilationContext) -> None:
         ctx.diagnostics.schedule_attempts += 1
+        ctx.pass_metrics(self).counter("attempts").inc()
         ctx.kernel = schedule(
             ctx.graph,
             ctx.machine,
@@ -465,34 +481,47 @@ def run_pass_pipeline(
     )
 
     ii = loop_mii
-    while ii <= bound:
-        ctx.begin_attempt(ii)
-        try:
-            for stage in stack:
-                started = time.perf_counter()
+    with obs_span(
+        "pipeline.compile", loop=ddg.name, scheme=name, mii=loop_mii
+    ) as compile_span:
+        while ii <= bound:
+            ctx.begin_attempt(ii)
+            failure: Exception | None = None
+            with obs_span("pipeline.attempt", ii=ii) as attempt_span:
                 try:
-                    stage.run(ctx)
-                finally:
-                    ctx.diagnostics.add_stage_time(
-                        stage.name, time.perf_counter() - started
-                    )
-        except ATTEMPT_FAILURES as failure:
-            ctx.causes.append(failure.cause)
-            ii = escalation.next_ii(ii, failure)
-            continue
-        return CompileResult(
-            kernel=ctx.kernel,
-            partition=ctx.partition,
-            plan=ctx.plan,
-            mii=loop_mii,
-            ii=ii,
-            causes=ctx.causes,
-            scheme=_scheme_token(name),
-            diagnostics=ctx.diagnostics,
+                    for stage in stack:
+                        started = time.perf_counter()
+                        with obs_span(f"pass.{stage.name}", ii=ii):
+                            try:
+                                stage.run(ctx)
+                            finally:
+                                ctx.diagnostics.add_stage_time(
+                                    stage.name, time.perf_counter() - started
+                                )
+                except ATTEMPT_FAILURES as caught:
+                    # A failed attempt is normal control flow, not a span
+                    # error: record the cause and let the span close clean.
+                    failure = caught
+                    attempt_span.set(failed=caught.cause.value)
+            if failure is not None:
+                ctx.causes.append(failure.cause)
+                ii = escalation.next_ii(ii, failure)
+                continue
+            compile_span.set(ii=ii, attempts=len(ctx.diagnostics.ii_trajectory))
+            ctx.diagnostics.merge_counters(ctx.metrics.snapshot())
+            return CompileResult(
+                kernel=ctx.kernel,
+                partition=ctx.partition,
+                plan=ctx.plan,
+                mii=loop_mii,
+                ii=ii,
+                causes=ctx.causes,
+                scheme=_scheme_token(name),
+                diagnostics=ctx.diagnostics,
+            )
+        raise UnschedulableError(
+            f"loop {ddg.name!r} unschedulable on {machine.name} within II <= {bound}"
         )
-    raise UnschedulableError(
-        f"loop {ddg.name!r} unschedulable on {machine.name} within II <= {bound}"
-    )
 
 
 def find_min_ii(

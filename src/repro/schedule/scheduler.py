@@ -18,6 +18,7 @@ import dataclasses
 import enum
 
 from repro.machine.config import MachineConfig
+from repro.obs.spans import span as obs_span
 from repro.schedule.kernel import Kernel, ScheduledOp
 from repro.schedule.mrt import ModuloReservationTable
 from repro.schedule.order import (
@@ -117,46 +118,50 @@ def schedule(
     the section 5.1 upper-bound mode: COPY instances still occupy bus
     slots but their dependence latency is replaced (usually by 0).
     """
-    try:
-        analysis = placed_analysis(graph, machine, ii, copy_latency_override)
-    except OrderError as exc:
-        raise ScheduleFailure(FailureCause.RECURRENCES, str(exc)) from exc
+    with obs_span("schedule.order", ii=ii, instances=len(graph)):
+        try:
+            analysis = placed_analysis(graph, machine, ii, copy_latency_override)
+        except OrderError as exc:
+            raise ScheduleFailure(FailureCause.RECURRENCES, str(exc)) from exc
 
-    latency = instance_latencies(graph, machine, copy_latency_override)
-    order = compute_order(graph, machine, ii, analysis)
+        latency = instance_latencies(graph, machine, copy_latency_override)
+        order = compute_order(graph, machine, ii, analysis)
     mrt = ModuloReservationTable(machine, ii)
     times: dict[int, int] = {}
     buses: dict[int, int] = {}
 
-    for inst in order:
-        window, both_sided = _dependence_window(
-            graph, latency, inst, times, ii, analysis.asap[inst.iid]
-        )
-        placed = False
-        for cycle in window:
-            if inst.is_copy:
-                if mrt.bus_free(cycle):
-                    buses[inst.iid] = mrt.reserve_bus(cycle)
+    # One span for the whole placement loop (never per-instance: that
+    # would dominate the trace and distort the timings it measures).
+    with obs_span("schedule.place", ii=ii, instances=len(order)):
+        for inst in order:
+            window, both_sided = _dependence_window(
+                graph, latency, inst, times, ii, analysis.asap[inst.iid]
+            )
+            placed = False
+            for cycle in window:
+                if inst.is_copy:
+                    if mrt.bus_free(cycle):
+                        buses[inst.iid] = mrt.reserve_bus(cycle)
+                        times[inst.iid] = cycle
+                        placed = True
+                        break
+                elif mrt.fu_free(inst.cluster, inst.fu_kind, cycle):
+                    mrt.reserve_fu(inst.cluster, inst.fu_kind, cycle)
                     times[inst.iid] = cycle
                     placed = True
                     break
-            elif mrt.fu_free(inst.cluster, inst.fu_kind, cycle):
-                mrt.reserve_fu(inst.cluster, inst.fu_kind, cycle)
-                times[inst.iid] = cycle
-                placed = True
-                break
-        if not placed:
-            if inst.is_copy:
-                cause = FailureCause.BUS
-            elif both_sided:
-                # A recurrence-constrained window with no free slot: the
-                # cycle, not the raw FU count, is what does not fit.
-                cause = FailureCause.RECURRENCES
-            else:
-                cause = FailureCause.RESOURCES
-            raise ScheduleFailure(
-                cause, f"no free slot for {inst.name} at II={ii}"
-            )
+            if not placed:
+                if inst.is_copy:
+                    cause = FailureCause.BUS
+                elif both_sided:
+                    # A recurrence-constrained window with no free slot:
+                    # the cycle, not the raw FU count, does not fit.
+                    cause = FailureCause.RECURRENCES
+                else:
+                    cause = FailureCause.RESOURCES
+                raise ScheduleFailure(
+                    cause, f"no free slot for {inst.name} at II={ii}"
+                )
 
     # Normalize so the flat schedule starts at cycle 0.
     if times:

@@ -2,6 +2,7 @@
 
 import io
 import json
+import re
 
 from repro.engine.events import (
     CollectingSink,
@@ -59,6 +60,28 @@ class TestStderrProgressSink:
         out = stream.getvalue()
         assert "[4/4]" in out and "1 cached" in out
         assert out.endswith("\n")
+
+    def test_line_reports_elapsed_and_throughput(self):
+        stream = io.StringIO()
+        sink = StderrProgressSink(total=2, stream=stream)
+        sink.emit(event(EventKind.FINISHED))
+        sink.emit(event(EventKind.FINISHED))
+        sink.close()
+        out = stream.getvalue()
+        assert sink.started_at is not None
+        # "<elapsed>s <rate> jobs/s" appears on the progress line.
+        assert re.search(r"\d+\.\d+s \d+\.\d+ jobs/s", out)
+
+    def test_elapsed_counts_from_the_first_event(self, monkeypatch):
+        clock = iter([100.0, 100.0, 102.0])
+        monkeypatch.setattr(
+            "repro.engine.events.time.monotonic", lambda: next(clock)
+        )
+        stream = io.StringIO()
+        sink = StderrProgressSink(total=2, stream=stream)
+        sink.emit(event(EventKind.FINISHED))  # starts the clock at 100
+        sink.emit(event(EventKind.FINISHED))  # emitted at 102 -> 2.0s
+        assert "2.0s 1.0 jobs/s" in stream.getvalue()
 
 
 class TestEventBus:

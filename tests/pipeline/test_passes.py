@@ -157,6 +157,34 @@ class TestSchemeConfigParity:
         assert via_config.kernel.copy_latency_override == 0
 
 
+class TestMergeCounters:
+    def test_stage_prefix_keeps_same_named_counters_apart(self):
+        """Regression: two passes reporting ``attempts`` must not clobber."""
+        from repro.pipeline.driver import CompileDiagnostics
+
+        diag = CompileDiagnostics()
+        diag.merge_counters({"attempts": 3.0}, stage="partition")
+        diag.merge_counters({"attempts": 7.0}, stage="schedule")
+        assert diag.counters == {
+            "partition.attempts": 3.0,
+            "schedule.attempts": 7.0,
+        }
+
+    def test_already_namespaced_names_are_not_double_prefixed(self):
+        from repro.pipeline.driver import CompileDiagnostics
+
+        diag = CompileDiagnostics()
+        diag.merge_counters({"partition.moves": 5.0}, stage="partition")
+        assert diag.counters == {"partition.moves": 5.0}
+
+    def test_without_stage_names_pass_through(self):
+        from repro.pipeline.driver import CompileDiagnostics
+
+        diag = CompileDiagnostics()
+        diag.merge_counters({"partition.x": 1.0})
+        assert diag.counters == {"partition.x": 1.0}
+
+
 class TestDiagnostics:
     def test_stage_times_and_counts_recorded(self, m2):
         result = compile_loop(stencil5(), m2, scheme=Scheme.REPLICATION)

@@ -162,6 +162,97 @@ class TestBench:
         assert "finished" in kinds or "cache_hit" in kinds
 
 
+class TestTrace:
+    def test_record_writes_trace_and_summary(self, capsys, tmp_path, monkeypatch):
+        out_path = tmp_path / "run.jsonl"
+        chrome_path = tmp_path / "run.chrome.json"
+        code = main(
+            [
+                "trace",
+                "--summary",
+                "--out", str(out_path),
+                "--chrome", str(chrome_path),
+                "--record",
+                "compile", "--machine", "2c1b2l64r", "--loop", "daxpy",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out and "spans" in out
+        assert "top" in out and "self time" in out
+        assert out_path.exists() and chrome_path.exists()
+
+        import json
+
+        doc = json.load(open(chrome_path))
+        names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert "pipeline.compile" in names
+        assert any(name.startswith("pass.") for name in names)
+
+    def test_summary_of_an_existing_trace(self, capsys, tmp_path):
+        path = tmp_path / "t.jsonl"
+        main(
+            [
+                "trace", "--out", str(path), "--record",
+                "compile", "--machine", "2c1b2l64r", "--loop", "daxpy",
+            ]
+        )
+        capsys.readouterr()
+        assert main(["trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "per-stage durations" in out
+
+    def test_diff_of_two_traces(self, capsys, tmp_path):
+        paths = []
+        for index in range(2):
+            path = tmp_path / f"t{index}.jsonl"
+            main(
+                [
+                    "trace", "--out", str(path), "--record",
+                    "compile", "--machine", "2c1b2l64r", "--loop", "daxpy",
+                ]
+            )
+            paths.append(str(path))
+        capsys.readouterr()
+        assert main(["trace", "--diff", *paths]) == 0
+        out = capsys.readouterr().out
+        assert "trace diff" in out
+
+    def test_record_without_command_errors(self, capsys):
+        assert main(["trace", "--record"]) == 2
+        assert "needs a command" in capsys.readouterr().err
+
+    def test_diff_needs_two_files(self, capsys, tmp_path):
+        assert main(["trace", "--diff", "only_one.jsonl"]) == 2
+        assert "two trace files" in capsys.readouterr().err
+
+    def test_no_inputs_errors(self, capsys):
+        assert main(["trace"]) == 2
+        assert "trace files" in capsys.readouterr().err
+
+    def test_record_cannot_nest(self, capsys):
+        assert main(["trace", "--record", "trace", "x.jsonl"]) == 2
+        assert "cannot record itself" in capsys.readouterr().err
+
+    def test_env_var_records_without_the_wrapper(self, capsys, tmp_path, monkeypatch):
+        from repro.obs import spans as obs
+
+        path = tmp_path / "env.jsonl"
+        monkeypatch.setenv(obs.TRACE_ENV, str(path))
+        obs._refresh_from_env()
+        try:
+            assert main(
+                ["compile", "--machine", "2c1b2l64r", "--loop", "daxpy"]
+            ) == 0
+            err = capsys.readouterr().err
+            assert "wrote" in err and str(path) in err
+            assert path.exists()
+        finally:
+            monkeypatch.delenv(obs.TRACE_ENV)
+            obs._refresh_from_env()
+            obs.tracer().drain()
+
+
 class TestSelfCheck:
     def test_selfcheck_runs_green(self, capsys):
         assert main(["selfcheck"]) == 0

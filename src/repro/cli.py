@@ -14,6 +14,11 @@ Commands:
 * ``trace`` — record a traced run of any other command, or analyse
   existing trace files: flame summaries, per-stage histograms, trace
   diffs, Chrome trace-event JSON for Perfetto / ``chrome://tracing``.
+* ``serve`` — run the compilation service: an HTTP/JSON API over a
+  sharded, replicated result cache (``--smoke`` boots an ephemeral
+  server and verifies one job end-to-end).
+* ``cache`` — inspect or clear the persistent result cache
+  (``stats``, ``clear``, ``path``).
 
 Examples::
 
@@ -25,6 +30,9 @@ Examples::
     python -m repro trace --summary --record -- bench --jobs 4
     python -m repro trace run.jsonl --chrome run.chrome.json
     python -m repro trace --diff before.jsonl after.jsonl
+    python -m repro serve --port 8774 --shards 3 --replication 2
+    python -m repro serve --smoke
+    python -m repro cache stats
 """
 
 from __future__ import annotations
@@ -449,6 +457,84 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the compilation service (or its self-verifying smoke mode)."""
+    import asyncio
+
+    from repro.serve.cluster import run_smoke
+    from repro.serve.server import ServeConfig, ServeServer, build_service
+
+    if args.smoke:
+        return run_smoke(executor=args.executor, quiet=args.quiet)
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        shards=args.shards,
+        replication=args.replication,
+        vnodes=args.vnodes,
+        data_dir=args.data_dir,
+        executor=args.executor,
+        workers=args.workers,
+        timeout=args.timeout,
+        queue_limit=args.queue_limit,
+        max_inflight=args.max_inflight,
+    )
+
+    async def _serve() -> None:
+        from repro.engine.events import EventBus, JsonlSink
+
+        bus = EventBus([JsonlSink(args.events)]) if args.events else None
+        cache, _admission, manager, _metrics = build_service(config, bus=bus)
+        server = ServeServer(manager, cache, host=config.host, port=config.port)
+        await server.start()
+        print(
+            f"repro serve: {server.url}  shards={config.shards} "
+            f"replication={cache.ring.replication} executor={config.executor} "
+            f"workers={config.workers}  data={config.resolved_data_dir()}",
+            file=sys.stderr,
+        )
+        try:
+            while True:
+                await asyncio.sleep(args.sweep_interval or 3600)
+                if args.sweep_interval:
+                    report = cache.sweep()
+                    print(f"anti-entropy: {report.summary()}", file=sys.stderr)
+        except asyncio.CancelledError:
+            pass
+        finally:
+            print("draining...", file=sys.stderr)
+            await server.shutdown()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect or clear the persistent result cache."""
+    from repro.engine.cache import ResultCache, cache_enabled, cache_root
+
+    root = args.dir if args.dir else cache_root()
+    cache = ResultCache(root=root, enabled=True)
+    if args.action == "path":
+        print(cache.root)
+        return 0
+    if args.action == "stats":
+        stats = cache.stats()
+        state = "enabled" if cache_enabled() else "disabled (REPRO_CACHE)"
+        print(f"cache at {cache.root} [{state}]")
+        print(stats.summary())
+        return 0
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} entries from {cache.root}")
+        return 0
+    raise AssertionError(f"unhandled cache action {args.action!r}")
+
+
 def cmd_selfcheck(args: argparse.Namespace) -> int:
     from repro.pipeline.validation import self_check
 
@@ -648,6 +734,104 @@ def build_parser() -> argparse.ArgumentParser:
         help="rows in the flame/diff tables (default: 15)",
     )
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "serve",
+        help="HTTP compilation service over a sharded, replicated cache",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8774)
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="result-cache shards (default: 1 = the local cache layout)",
+    )
+    p.add_argument(
+        "--replication",
+        type=int,
+        default=1,
+        help="replicas kept per entry (clamped to --shards)",
+    )
+    p.add_argument(
+        "--vnodes",
+        type=int,
+        default=16,
+        help="virtual ring points per shard (default: 16)",
+    )
+    p.add_argument(
+        "--data-dir",
+        default=None,
+        help="shard store root (default: the local cache root)",
+    )
+    p.add_argument(
+        "--executor",
+        choices=("process", "thread"),
+        default="process",
+        help="compile pool kind (default: process)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=max(1, (os.cpu_count() or 2) - 1),
+        help="compile pool size (default: CPUs - 1)",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-job wall-clock timeout in seconds",
+    )
+    p.add_argument(
+        "--queue-limit",
+        type=int,
+        default=256,
+        help="admitted-but-unfinished job cap (429 beyond; default: 256)",
+    )
+    p.add_argument(
+        "--max-inflight",
+        type=int,
+        default=16,
+        help="in-flight jobs allowed per client id (default: 16)",
+    )
+    p.add_argument(
+        "--sweep-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="run a Merkle anti-entropy sweep every SECONDS",
+    )
+    p.add_argument(
+        "--events",
+        default=None,
+        metavar="FILE",
+        help="append structured JSONL engine events to FILE",
+    )
+    p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="boot an ephemeral 1-shard server, verify one job, exit",
+    )
+    p.add_argument(
+        "--quiet", action="store_true", help="suppress --smoke progress output"
+    )
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "cache", help="inspect or clear the persistent result cache"
+    )
+    p.add_argument(
+        "action",
+        choices=("stats", "clear", "path"),
+        help="stats: counters + disk usage; clear: delete entries; "
+        "path: print the resolved cache directory",
+    )
+    p.add_argument(
+        "--dir",
+        default=None,
+        help="operate on this cache directory instead of the default",
+    )
+    p.set_defaults(func=cmd_cache)
 
     p = sub.add_parser("selfcheck", help="exercise every subsystem (seconds)")
     p.set_defaults(func=cmd_selfcheck)

@@ -178,6 +178,31 @@ def _execute_wire(wire: dict, key: str, timeout: float | None) -> JobResult:
     return result
 
 
+def execute_wire(wire: dict, key: str, timeout: float | None) -> JobResult:
+    """Public worker entry point (see :func:`_execute_wire`).
+
+    Used by the serving layer (:mod:`repro.serve.manager`) to run one
+    submitted job on its persistent process pool with exactly the same
+    span/timeout behaviour as a batch worker.
+    """
+    return _execute_wire(wire, key, timeout)
+
+
+def execute_wire_inline(wire: dict, key: str, timeout: float | None) -> JobResult:
+    """Run one wire-format job in the calling process, without shipping
+    spans back (they are already in this process's tracer).
+
+    The thread-pool variant of :func:`execute_wire`: per-job SIGALRM
+    timeouts need the main thread, so ``timeout`` is best-effort here
+    (a no-op off the main thread — see :func:`_deadline`).
+    """
+    job = CompileJob.from_wire(wire)
+    with obs.span("engine.job", tag=job.tag, key=key[:12]) as job_span:
+        result = _timed_run(job, key, timeout)
+        job_span.set(outcome=result.outcome.value)
+    return result
+
+
 def _event_for(result: JobResult) -> Event:
     """Terminal event matching a job result."""
     kind = {
@@ -195,6 +220,11 @@ def _event_for(result: JobResult) -> Event:
         error=result.error,
         error_kind=result.error_kind.value,
     )
+
+
+def event_for_result(result: JobResult) -> Event:
+    """Public form of :func:`_event_for` (terminal event for a result)."""
+    return _event_for(result)
 
 
 def run_jobs(

@@ -1,0 +1,150 @@
+"""A small stdlib HTTP client for the serve API.
+
+Used by the smoke checks, the test suite, and anyone scripting against
+a server without wanting to hand-roll ``http.client`` calls. One
+connection per request (the server closes after every response), so a
+client object is cheap and thread-safe to share.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+import urllib.parse
+
+from repro.engine.jobs import CompileJob
+from repro.serve.server import CLIENT_HEADER
+
+
+class ServeError(RuntimeError):
+    """An HTTP response the caller did not ask to tolerate."""
+
+    def __init__(self, status: int, payload: dict) -> None:
+        super().__init__(f"HTTP {status}: {payload}")
+        self.status = status
+        self.payload = payload
+
+
+class ServeClient:
+    """Talk to one serve endpoint.
+
+    Args:
+        base_url: e.g. ``http://127.0.0.1:8774``.
+        client_id: value of the per-client admission header.
+        timeout: socket timeout per request, seconds.
+    """
+
+    def __init__(
+        self, base_url: str, client_id: str = "client", timeout: float = 30.0
+    ) -> None:
+        parsed = urllib.parse.urlparse(base_url)
+        if parsed.scheme != "http" or not parsed.hostname:
+            raise ValueError(f"need an http:// base URL, got {base_url!r}")
+        self.host = parsed.hostname
+        self.port = parsed.port or 80
+        self.client_id = client_id
+        self.timeout = timeout
+
+    def _request(
+        self, method: str, path: str, body: dict | None = None
+    ) -> tuple[int, dict]:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = json.dumps(body).encode("utf-8") if body is not None else None
+            headers = {CLIENT_HEADER: self.client_id}
+            if payload is not None:
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            try:
+                decoded = json.loads(raw.decode("utf-8")) if raw else {}
+            except ValueError:
+                decoded = {"raw": raw.decode("utf-8", "replace")}
+            return response.status, decoded
+        finally:
+            connection.close()
+
+    # -- API calls -------------------------------------------------------
+
+    def health(self) -> dict:
+        """``GET /healthz``."""
+        status, payload = self._request("GET", "/healthz")
+        if status != 200:
+            raise ServeError(status, payload)
+        return payload
+
+    def stats(self) -> dict:
+        """``GET /stats``."""
+        status, payload = self._request("GET", "/stats")
+        if status != 200:
+            raise ServeError(status, payload)
+        return payload
+
+    def try_submit(self, job: CompileJob) -> tuple[int, dict]:
+        """Submit by content; returns (status, body) without raising.
+
+        The backpressure-aware form: 429/503 come back as data.
+        """
+        return self._request("POST", "/jobs", {"job": job.to_wire()})
+
+    def submit(self, job: CompileJob) -> dict:
+        """Submit by content; raises :class:`ServeError` on rejection."""
+        status, payload = self.try_submit(job)
+        if status not in (200, 202):
+            raise ServeError(status, payload)
+        return payload
+
+    def submit_key(self, key: str) -> tuple[int, dict]:
+        """Submit by key only (completes iff the result is cached)."""
+        return self._request("POST", "/jobs", {"key": key})
+
+    def status(self, key: str) -> dict:
+        """``GET /jobs/<key>``."""
+        status, payload = self._request("GET", f"/jobs/{key}")
+        if status != 200:
+            raise ServeError(status, payload)
+        return payload
+
+    def wait(self, key: str, timeout: float = 60.0, poll: float = 0.05) -> dict:
+        """Poll ``GET /jobs/<key>`` until the job is terminal."""
+        deadline = time.monotonic() + timeout
+        while True:
+            payload = self.status(key)
+            if payload.get("status") == "done":
+                return payload
+            if time.monotonic() >= deadline:
+                raise TimeoutError(f"job {key[:16]} not done after {timeout:g}s")
+            time.sleep(poll)
+
+    def events(self, key: str) -> list[dict]:
+        """``GET /jobs/<key>/events`` — read the NDJSON stream to EOF.
+
+        Blocks until the job is terminal (the server holds the stream
+        open for live jobs).
+        """
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            connection.request(
+                "GET", f"/jobs/{key}/events", headers={CLIENT_HEADER: self.client_id}
+            )
+            response = connection.getresponse()
+            if response.status != 200:
+                raw = response.read()
+                try:
+                    payload = json.loads(raw.decode("utf-8"))
+                except ValueError:
+                    payload = {"raw": raw.decode("utf-8", "replace")}
+                raise ServeError(response.status, payload)
+            events = []
+            for line in response.read().splitlines():
+                if line.strip():
+                    events.append(json.loads(line.decode("utf-8")))
+            return events
+        finally:
+            connection.close()

@@ -1,0 +1,139 @@
+"""Consistent hashing: job keys -> an ordered list of owning shards.
+
+The ring places ``vnodes`` virtual points per shard on a 64-bit hash
+circle. A key's *preference list* is the first ``n`` **distinct** shards
+found walking clockwise from the key's position — the canonical
+Dynamo-style construction, so adding or removing one shard only remaps
+the ring segments adjacent to its virtual points instead of reshuffling
+every key.
+
+The ring also exposes its :meth:`segments`: the arcs between
+consecutive virtual points. Every key inside one segment has the same
+preference list, which is what makes segment-granular Merkle
+anti-entropy possible — two replicas of a segment must store *identical*
+entries for it, so their segment trees can be compared directly
+(:mod:`repro.serve.merkle`).
+
+Positions derive from sha256, never :func:`hash` (which is salted per
+process and would scatter keys differently on every boot).
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+import hashlib
+
+_SPACE_BITS = 64
+_SPACE = 1 << _SPACE_BITS
+
+
+def ring_position(text: str) -> int:
+    """Deterministic position of ``text`` on the 64-bit hash circle."""
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % _SPACE
+
+
+@dataclasses.dataclass(frozen=True)
+class Segment:
+    """One arc of the ring: keys with positions in ``(lo, hi]``.
+
+    ``hi`` is the position of the virtual point owning the arc; the
+    wrap-around segment has ``lo > hi`` and covers ``(lo, 2^64) ∪ [0, hi]``.
+
+    Attributes:
+        lo: exclusive lower bound (position of the previous vnode).
+        hi: inclusive upper bound (this vnode's position).
+        owners: preference list for every key in the segment, in
+            replica order (primary first).
+    """
+
+    lo: int
+    hi: int
+    owners: tuple[int, ...]
+
+    def contains(self, position: int) -> bool:
+        """Whether a ring position falls inside this segment."""
+        if self.lo < self.hi:
+            return self.lo < position <= self.hi
+        return position > self.lo or position <= self.hi
+
+
+class HashRing:
+    """A consistent-hash ring over integer shard ids ``0..n_shards-1``.
+
+    Args:
+        n_shards: number of shards (>= 1).
+        replication: preference-list length (clamped to ``n_shards``).
+        vnodes: virtual points per shard; more points smooth the key
+            distribution at the cost of more segments.
+    """
+
+    def __init__(
+        self, n_shards: int, replication: int = 1, vnodes: int = 16
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError("need at least one shard")
+        if replication < 1:
+            raise ValueError("replication factor must be >= 1")
+        if vnodes < 1:
+            raise ValueError("need at least one vnode per shard")
+        self.n_shards = n_shards
+        self.replication = min(replication, n_shards)
+        self.vnodes = vnodes
+        points = [
+            (ring_position(f"shard-{shard}#vnode-{v}"), shard)
+            for shard in range(n_shards)
+            for v in range(vnodes)
+        ]
+        points.sort()
+        self._positions = [position for position, _ in points]
+        self._shards = [shard for _, shard in points]
+
+    def _walk(self, start_index: int, n: int) -> tuple[int, ...]:
+        """First ``n`` distinct shards clockwise from a vnode index."""
+        owners: list[int] = []
+        for step in range(len(self._shards)):
+            shard = self._shards[(start_index + step) % len(self._shards)]
+            if shard not in owners:
+                owners.append(shard)
+                if len(owners) == n:
+                    break
+        return tuple(owners)
+
+    def preference(self, key: str, n: int | None = None) -> tuple[int, ...]:
+        """Ordered distinct shard ids responsible for ``key``.
+
+        The first entry is the primary; the rest are replicas. ``n``
+        defaults to the ring's replication factor.
+        """
+        n = self.replication if n is None else min(n, self.n_shards)
+        index = bisect.bisect_left(self._positions, ring_position(key))
+        if index == len(self._positions):
+            index = 0
+        return self._walk(index, n)
+
+    def primary(self, key: str) -> int:
+        """The first shard in the key's preference list."""
+        return self.preference(key, 1)[0]
+
+    def segments(self) -> list[Segment]:
+        """Every ring arc with its owner list, in position order."""
+        segments = []
+        for index, position in enumerate(self._positions):
+            lo = self._positions[index - 1]  # index 0 wraps to the last point
+            segments.append(
+                Segment(lo=lo, hi=position, owners=self._walk(index, self.replication))
+            )
+        return segments
+
+    def segment_of(self, key: str) -> Segment:
+        """The segment containing ``key`` (owners == its preference list)."""
+        index = bisect.bisect_left(self._positions, ring_position(key))
+        if index == len(self._positions):
+            index = 0
+        return Segment(
+            lo=self._positions[index - 1],
+            hi=self._positions[index],
+            owners=self._walk(index, self.replication),
+        )

@@ -1,0 +1,107 @@
+"""Merkle trees over cache-entry digests, for shard anti-entropy.
+
+A :class:`MerkleTree` summarises a ``{key: entry_digest}`` map as a
+two-level hash tree: keys are grouped into a fixed number of *buckets*
+by key prefix (matching the cache's own two-hex-char directory fan-out),
+each bucket hashes the sorted ``(key, digest)`` pairs it holds, and the
+root hashes the bucket digests. Two replicas of a ring segment are
+byte-identical iff their roots match; when they differ,
+:func:`diff_buckets` narrows the repair work to the buckets that
+actually diverge, so a sweep inspects ``O(diff)`` keys instead of the
+whole segment.
+
+Digests are sha256 over canonical strings — no pickling, so trees built
+by different processes (or shipped over the wire as
+:meth:`MerkleTree.to_wire` dicts) compare exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Mapping
+
+#: Bucket count matching the cache's ``<key[:2]>/`` directory fan-out.
+DEFAULT_BUCKETS = 256
+
+_EMPTY = hashlib.sha256(b"empty").hexdigest()
+
+
+def _bucket_of(key: str, n_buckets: int) -> int:
+    """Stable bucket index for a content-hash key."""
+    try:
+        prefix = int(key[:2], 16)
+    except ValueError:
+        prefix = int.from_bytes(hashlib.sha256(key.encode()).digest()[:1], "big")
+    return prefix % n_buckets
+
+
+class MerkleTree:
+    """An immutable digest tree over a key -> entry-digest map."""
+
+    def __init__(
+        self, entries: Mapping[str, str], n_buckets: int = DEFAULT_BUCKETS
+    ) -> None:
+        if n_buckets < 1:
+            raise ValueError("need at least one bucket")
+        self.n_buckets = n_buckets
+        buckets: dict[int, list[tuple[str, str]]] = {}
+        for key, digest in entries.items():
+            buckets.setdefault(_bucket_of(key, n_buckets), []).append((key, digest))
+        self.bucket_digests: dict[int, str] = {}
+        self.bucket_keys: dict[int, tuple[str, ...]] = {}
+        for index, pairs in buckets.items():
+            pairs.sort()
+            hasher = hashlib.sha256()
+            for key, digest in pairs:
+                hasher.update(f"{key}={digest}\n".encode("utf-8"))
+            self.bucket_digests[index] = hasher.hexdigest()
+            self.bucket_keys[index] = tuple(key for key, _ in pairs)
+        root_hasher = hashlib.sha256()
+        for index in sorted(self.bucket_digests):
+            root_hasher.update(
+                f"{index}:{self.bucket_digests[index]}\n".encode("utf-8")
+            )
+        self.root = root_hasher.hexdigest() if self.bucket_digests else _EMPTY
+        self.n_keys = sum(len(keys) for keys in self.bucket_keys.values())
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, MerkleTree) and self.root == other.root
+
+    def __hash__(self) -> int:  # pragma: no cover - set membership only
+        return hash(self.root)
+
+    def to_wire(self) -> dict:
+        """JSON-ready summary (root + per-bucket digests, no keys)."""
+        return {
+            "root": self.root,
+            "n_keys": self.n_keys,
+            "buckets": {str(i): d for i, d in sorted(self.bucket_digests.items())},
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MerkleTree(root={self.root[:12]}..., keys={self.n_keys})"
+
+
+def diff_buckets(a: MerkleTree, b: MerkleTree) -> list[int]:
+    """Bucket indices whose digests differ between two trees.
+
+    Includes buckets present on only one side. Empty when the roots
+    match (the fast path a sweep checks first).
+    """
+    if a.root == b.root:
+        return []
+    indices = set(a.bucket_digests) | set(b.bucket_digests)
+    return sorted(
+        index
+        for index in indices
+        if a.bucket_digests.get(index) != b.bucket_digests.get(index)
+    )
+
+
+def diff_keys(a: MerkleTree, b: MerkleTree) -> set[str]:
+    """Union of keys living in any diverging bucket of either tree."""
+    keys: set[str] = set()
+    for index in diff_buckets(a, b):
+        keys.update(a.bucket_keys.get(index, ()))
+        keys.update(b.bucket_keys.get(index, ()))
+    return keys

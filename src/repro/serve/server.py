@@ -1,0 +1,349 @@
+"""Compilation-as-a-service: the asyncio HTTP/JSON front end.
+
+Stdlib only — the server speaks just enough HTTP/1.1 over asyncio
+streams to serve a JSON API; there is no framework dependency to
+install. Endpoints:
+
+* ``POST /jobs`` — submit a :class:`~repro.engine.jobs.CompileJob`,
+  either by content (``{"job": <wire payload>}``, see
+  :meth:`CompileJob.to_wire`) or by key (``{"key": "<sha256>"}``,
+  which only completes against the result cache). Returns the job
+  status document; 202 when queued, 200 when already known/cached,
+  429 + ``Retry-After`` under backpressure, 503 while draining.
+* ``GET /jobs/<key>`` — poll one job's status/result summary (the
+  summary carries the result's semantic fingerprint so clients can
+  assert equivalence with a local compile).
+* ``GET /jobs/<key>/events`` — the job's engine event stream as NDJSON:
+  full history first, then live events until the job is terminal.
+* ``GET /healthz`` — liveness (+ drain state).
+* ``GET /stats`` — queue depth, shard/cache stats, metrics snapshot.
+
+Every request runs under a ``serve.request`` span, so ``REPRO_TRACE``
+and ``repro trace`` work against a server with no extra setup.
+
+Clients identify themselves with the ``X-Repro-Client`` header (used
+for per-client in-flight caps); anonymous requests share one bucket.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import pathlib
+
+from repro.engine.cache import cache_root
+from repro.engine.events import EventBus
+from repro.obs import spans as obs
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.admission import AdmissionController
+from repro.serve.manager import JobManager
+from repro.serve.shards import ShardedCache
+
+#: Largest accepted request body (a wire-format DDG is a few KiB).
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+#: Client-identity header for per-client admission accounting.
+CLIENT_HEADER = "x-repro-client"
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+@dataclasses.dataclass
+class ServeConfig:
+    """Deployment knobs for one server (CLI flags map 1:1).
+
+    The defaults are the degenerate deployment: one shard over the
+    local cache root, so a server and the ``repro bench`` CLI share
+    results.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8774
+    shards: int = 1
+    replication: int = 1
+    vnodes: int = 16
+    data_dir: str | None = None
+    executor: str = "process"
+    workers: int = 2
+    timeout: float | None = None
+    queue_limit: int = 256
+    max_inflight: int = 16
+    retry_after: float = 1.0
+
+    def resolved_data_dir(self) -> pathlib.Path:
+        """Shard store root (default: the engine's local cache root)."""
+        if self.data_dir:
+            return pathlib.Path(self.data_dir).expanduser()
+        return cache_root()
+
+
+def build_service(
+    config: ServeConfig, bus: EventBus | None = None
+) -> tuple[ShardedCache, AdmissionController, JobManager, MetricsRegistry]:
+    """Wire up the cache/admission/manager stack for one deployment."""
+    metrics = MetricsRegistry()
+    cache = ShardedCache(
+        root=config.resolved_data_dir(),
+        n_shards=config.shards,
+        replication=config.replication,
+        vnodes=config.vnodes,
+        metrics=metrics,
+    )
+    admission = AdmissionController(
+        max_queue=config.queue_limit,
+        max_inflight_per_client=config.max_inflight,
+        retry_after=config.retry_after,
+        metrics=metrics,
+    )
+    manager = JobManager(
+        cache=cache,
+        admission=admission,
+        executor=config.executor,
+        workers=config.workers,
+        timeout=config.timeout,
+        bus=bus,
+        metrics=metrics,
+    )
+    return cache, admission, manager, metrics
+
+
+class ServeServer:
+    """One HTTP listener bound to a :class:`JobManager`."""
+
+    def __init__(
+        self,
+        manager: JobManager,
+        cache: ShardedCache,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.manager = manager
+        self.cache = cache
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> None:
+        """Bind and begin accepting (port 0 picks an ephemeral port)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL of the bound listener."""
+        return f"http://{self.host}:{self.port}"
+
+    async def shutdown(self, drain_timeout: float | None = 30.0) -> None:
+        """Graceful drain: stop accepting, finish admitted jobs."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self.manager.drain(timeout=drain_timeout)
+
+    # -- connection handling --------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            await self._handle_request(reader, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-request/response
+        except Exception as exc:
+            try:
+                await _respond(writer, 500, {"error": f"{type(exc).__name__}: {exc}"})
+            except ConnectionError:
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    async def _handle_request(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        if not request_line:
+            return
+        parts = request_line.split()
+        if len(parts) != 3:
+            await _respond(writer, 400, {"error": "malformed request line"})
+            return
+        method, path, _version = parts
+        headers: dict[str, str] = {}
+        while True:
+            line = (await reader.readline()).decode("latin-1")
+            if line in ("\r\n", "\n", ""):
+                break
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY_BYTES:
+            await _respond(writer, 413, {"error": "body too large"})
+            return
+        body = await reader.readexactly(length) if length else b""
+        client = headers.get(CLIENT_HEADER, "")
+        with obs.span("serve.request", method=method, path=path) as span:
+            status = await self._route(method, path, body, client, writer)
+            span.set(status=status)
+
+    async def _route(
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        client: str,
+        writer: asyncio.StreamWriter,
+    ) -> int:
+        if path == "/healthz" and method == "GET":
+            state = "draining" if self.manager.admission.draining else "ok"
+            return await _respond(writer, 200, {"status": state})
+        if path == "/stats" and method == "GET":
+            return await _respond(writer, 200, self._stats_payload())
+        if path == "/jobs":
+            if method != "POST":
+                return await _respond(writer, 405, {"error": "POST /jobs"})
+            return await self._submit(body, client, writer)
+        if path.startswith("/jobs/"):
+            rest = path[len("/jobs/") :]
+            if method != "GET":
+                return await _respond(writer, 405, {"error": "GET only"})
+            if rest.endswith("/events"):
+                return await self._stream_events(rest[: -len("/events")].rstrip("/"), writer)
+            return await self._status(rest, writer)
+        return await _respond(writer, 404, {"error": f"no route {method} {path}"})
+
+    # -- endpoints -------------------------------------------------------
+
+    async def _submit(
+        self, body: bytes, client: str, writer: asyncio.StreamWriter
+    ) -> int:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+            if not isinstance(payload, dict):
+                raise ValueError("body must be a JSON object")
+        except (ValueError, UnicodeDecodeError) as exc:
+            return await _respond(writer, 400, {"error": f"bad JSON body: {exc}"})
+        if "key" in payload and "job" not in payload:
+            record = self.manager.lookup(str(payload["key"]))
+            if record is None:
+                return await _respond(
+                    writer,
+                    404,
+                    {"error": "unknown key; submit the job content instead"},
+                )
+            return await _respond(writer, 200, record.to_payload())
+        try:
+            from repro.engine.jobs import CompileJob
+
+            job = CompileJob.from_wire(payload["job"])
+        except Exception as exc:
+            return await _respond(
+                writer, 400, {"error": f"bad job payload: {type(exc).__name__}: {exc}"}
+            )
+        existed = job.content_hash() in self.manager.records
+        record, decision = self.manager.submit(job, client=client)
+        if record is None:
+            return await _respond(
+                writer,
+                decision.http_status,
+                {"error": decision.reason, "retry_after": decision.retry_after},
+                extra_headers={"Retry-After": f"{decision.retry_after:g}"},
+            )
+        status = 200 if existed or record.status.value == "done" else 202
+        return await _respond(writer, status, record.to_payload())
+
+    async def _status(self, key: str, writer: asyncio.StreamWriter) -> int:
+        record = self.manager.lookup(key)
+        if record is None:
+            return await _respond(writer, 404, {"error": f"unknown job {key[:16]}"})
+        return await _respond(writer, 200, record.to_payload())
+
+    async def _stream_events(self, key: str, writer: asyncio.StreamWriter) -> int:
+        record = self.manager.lookup(key)
+        if record is None:
+            return await _respond(writer, 404, {"error": f"unknown job {key[:16]}"})
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Connection: close\r\n"
+            b"\r\n"
+        )
+        async for event in self.manager.stream_events(key):
+            line = json.dumps(event.to_dict(), sort_keys=True) + "\n"
+            writer.write(line.encode("utf-8"))
+            await writer.drain()
+        return 200
+
+    def _stats_payload(self) -> dict:
+        cache_stats = self.cache.stats()
+        shards = [
+            {
+                "id": shard.shard_id,
+                "up": shard.up,
+                "entries": sum(1 for _ in shard.cache.keys()) if shard.up else 0,
+            }
+            for shard in self.cache.shards
+        ]
+        return {
+            "jobs": self.manager.counts(),
+            "admission": {
+                "queue_depth": self.manager.admission.depth,
+                "queue_limit": self.manager.admission.max_queue,
+                "draining": self.manager.admission.draining,
+            },
+            "cache": {
+                "hits": cache_stats.hits,
+                "misses": cache_stats.misses,
+                "writes": cache_stats.writes,
+                "entries": cache_stats.entries,
+                "total_bytes": cache_stats.total_bytes,
+            },
+            "ring": {
+                "shards": self.cache.ring.n_shards,
+                "replication": self.cache.ring.replication,
+                "vnodes": self.cache.ring.vnodes,
+            },
+            "shards": shards,
+            "metrics": {
+                name: round(value, 6)
+                for name, value in sorted(self.manager.metrics.snapshot().items())
+            },
+        }
+
+
+async def _respond(
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload: dict,
+    extra_headers: dict[str, str] | None = None,
+) -> int:
+    """Write one JSON response and return the status (for span attrs)."""
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    reason = _REASONS.get(status, "Unknown")
+    head = [
+        f"HTTP/1.1 {status} {reason}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    for name, value in (extra_headers or {}).items():
+        head.append(f"{name}: {value}")
+    writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body)
+    await writer.drain()
+    return status

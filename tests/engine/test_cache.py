@@ -1,5 +1,6 @@
 """The persistent content-addressed result store."""
 
+import pathlib
 import pickle
 
 import pytest
@@ -107,6 +108,27 @@ class TestEnvironmentKnobs:
     def test_dir_override(self, monkeypatch, tmp_path):
         monkeypatch.setenv(cache_mod.CACHE_DIR_ENV, str(tmp_path / "x"))
         assert cache_root() == tmp_path / "x"
+
+    def test_xdg_cache_home_honored(self, monkeypatch, tmp_path):
+        monkeypatch.delenv(cache_mod.CACHE_DIR_ENV, raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert cache_root() == tmp_path / "xdg" / "repro-engine"
+
+    def test_explicit_override_beats_xdg(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(cache_mod.CACHE_DIR_ENV, str(tmp_path / "explicit"))
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert cache_root() == tmp_path / "explicit"
+
+    def test_home_fallback_without_xdg(self, monkeypatch):
+        monkeypatch.delenv(cache_mod.CACHE_DIR_ENV, raising=False)
+        monkeypatch.delenv("XDG_CACHE_HOME", raising=False)
+        root = cache_root()
+        assert root == pathlib.Path.home() / ".cache" / "repro-engine"
+
+    def test_blank_xdg_is_ignored(self, monkeypatch):
+        monkeypatch.delenv(cache_mod.CACHE_DIR_ENV, raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", "  ")
+        assert cache_root() == pathlib.Path.home() / ".cache" / "repro-engine"
 
     def test_disabled_store_never_stores(self, tmp_path, compiled):
         key, result = compiled

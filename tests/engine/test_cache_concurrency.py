@@ -1,0 +1,147 @@
+"""The cache's documented durability rules, under real concurrency.
+
+The docstring of :mod:`repro.engine.cache` promises two things:
+
+* writers land entries atomically (tmp file + ``os.replace``), so a
+  reader never observes a torn entry — it sees a complete old copy, a
+  complete new copy, or a miss;
+* concurrent writers of the same key are last-writer-wins with either
+  writer's bytes intact.
+
+These tests exercise both with real processes hammering one store on
+real disk — no monkeypatching, no fault injection. A barrier lines the
+processes up so writes and reads genuinely overlap.
+"""
+
+import hashlib
+import multiprocessing
+import pickle
+import time
+
+import pytest
+
+from repro.engine.cache import ResultCache
+from repro.engine.jobs import ENGINE_SCHEMA_VERSION
+from repro.machine.config import parse_config
+from repro.pipeline.driver import Scheme, compile_loop
+from repro.workloads.patterns import daxpy
+
+KEY = hashlib.sha256(b"concurrency-test-key").hexdigest()
+
+
+@pytest.fixture(scope="module")
+def payloads():
+    """Two distinguishable, valid envelope serializations of one key."""
+    result = compile_loop(
+        daxpy(), parse_config("2c1b2l64r"), scheme=Scheme.BASELINE
+    )
+    return {
+        marker: pickle.dumps(
+            {"schema": ENGINE_SCHEMA_VERSION, "result": result, "writer": marker},
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        for marker in (1, 2, 3)
+    }
+
+
+def _writer(root, key, raw, rounds, barrier):
+    """Rewrite ``key`` with ``raw`` as fast as possible."""
+    cache = ResultCache(root=root, enabled=True)
+    barrier.wait(timeout=60)
+    for _ in range(rounds):
+        cache.write_bytes(key, raw)
+
+
+def _reader(root, key, min_observed, deadline_s, queue, barrier):
+    """Read ``key`` until enough observations land; report torn ones."""
+    cache = ResultCache(root=root, enabled=True)
+    barrier.wait(timeout=60)
+    deadline = time.monotonic() + deadline_s
+    torn = 0
+    observed = 0
+    while observed < min_observed and time.monotonic() < deadline:
+        raw = cache.read_bytes(key)
+        if raw is None:
+            continue
+        observed += 1
+        try:
+            envelope = pickle.loads(raw)
+            if envelope.get("schema") != ENGINE_SCHEMA_VERSION:
+                torn += 1
+        except Exception:
+            torn += 1
+    queue.put((observed, torn))
+
+
+def test_concurrent_same_key_writers_never_tear_readers(tmp_path, payloads):
+    """Two processes rewrite one key while readers watch: no torn reads."""
+    context = multiprocessing.get_context("spawn")
+    queue = context.Queue()
+    barrier = context.Barrier(4)
+    writers = [
+        context.Process(
+            target=_writer, args=(str(tmp_path), KEY, payloads[m], 400, barrier)
+        )
+        for m in (1, 2)
+    ]
+    readers = [
+        context.Process(
+            target=_reader, args=(str(tmp_path), KEY, 200, 30.0, queue, barrier)
+        )
+        for _ in range(2)
+    ]
+    for process in writers + readers:
+        process.start()
+    for process in writers + readers:
+        process.join(timeout=120)
+        assert process.exitcode == 0
+    total_observed = 0
+    for _ in readers:
+        observed, torn = queue.get(timeout=10)
+        assert torn == 0, "a reader observed a torn / mid-write entry"
+        total_observed += observed
+    assert total_observed > 0, "readers never saw the entry at all"
+
+
+def test_last_writer_wins_with_intact_bytes(tmp_path, payloads):
+    """After the dust settles the entry is exactly one writer's bytes."""
+    context = multiprocessing.get_context("spawn")
+    barrier = context.Barrier(2)
+    writers = [
+        context.Process(
+            target=_writer, args=(str(tmp_path), KEY, payloads[m], 100, barrier)
+        )
+        for m in (1, 2)
+    ]
+    for process in writers:
+        process.start()
+    for process in writers:
+        process.join(timeout=120)
+        assert process.exitcode == 0
+    raw = ResultCache(root=tmp_path, enabled=True).read_bytes(KEY)
+    assert raw is not None
+    envelope = pickle.loads(raw)  # must not raise: bytes are intact
+    assert envelope["writer"] in (1, 2)
+    assert envelope["schema"] == ENGINE_SCHEMA_VERSION
+
+
+def test_no_temp_files_survive_the_stampede(tmp_path, payloads):
+    """The write path cleans up its tmp files even under contention."""
+    context = multiprocessing.get_context("spawn")
+    barrier = context.Barrier(3)
+    writers = [
+        context.Process(
+            target=_writer, args=(str(tmp_path), KEY, payloads[m], 50, barrier)
+        )
+        for m in (1, 2, 3)
+    ]
+    for process in writers:
+        process.start()
+    for process in writers:
+        process.join(timeout=120)
+        assert process.exitcode == 0
+    assert list(tmp_path.rglob("*.tmp")) == []
+    # and the surviving entry is one of the writers', intact
+    assert ResultCache(root=tmp_path, enabled=True).validate_bytes(
+        (tmp_path / KEY[:2] / f"{KEY}.pkl").read_bytes()
+    )

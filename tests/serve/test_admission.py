@@ -1,0 +1,96 @@
+"""Admission control: bounded queueing, per-client caps, drain."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.admission import AdmissionController
+
+
+class TestQueueBound:
+    def test_admits_until_full(self):
+        control = AdmissionController(max_queue=3, max_inflight_per_client=10)
+        for i in range(3):
+            assert control.admit(f"c{i}").admitted
+        decision = control.admit("c9")
+        assert not decision.admitted
+        assert decision.reason == "queue_full"
+        assert decision.retry_after > 0
+        assert decision.http_status == 429
+
+    def test_release_frees_a_slot(self):
+        control = AdmissionController(max_queue=1, max_inflight_per_client=10)
+        assert control.admit("a").admitted
+        assert not control.admit("b").admitted
+        control.release("a")
+        assert control.admit("b").admitted
+        assert control.depth == 1
+
+    def test_admitted_decision_is_clean(self):
+        decision = AdmissionController().admit("x")
+        assert decision.admitted
+        assert decision.reason == ""
+        assert decision.retry_after == 0.0
+        assert decision.http_status == 201
+
+
+class TestPerClientCap:
+    def test_one_client_cannot_starve_others(self):
+        control = AdmissionController(max_queue=100, max_inflight_per_client=2)
+        assert control.admit("greedy").admitted
+        assert control.admit("greedy").admitted
+        capped = control.admit("greedy")
+        assert not capped.admitted
+        assert capped.reason == "client_capped"
+        # a different client still gets in
+        assert control.admit("polite").admitted
+
+    def test_release_is_per_client(self):
+        control = AdmissionController(max_queue=100, max_inflight_per_client=1)
+        assert control.admit("a").admitted
+        assert control.admit("b").admitted
+        control.release("a")
+        assert control.admit("a").admitted
+        assert not control.admit("b").admitted
+
+
+class TestDrain:
+    def test_drain_refuses_everything(self):
+        control = AdmissionController()
+        control.start_drain()
+        decision = control.admit("x")
+        assert not decision.admitted
+        assert decision.reason == "draining"
+        assert decision.http_status == 503
+        control.stop_drain()
+        assert control.admit("x").admitted
+
+    def test_draining_property(self):
+        control = AdmissionController()
+        assert not control.draining
+        control.start_drain()
+        assert control.draining
+
+
+class TestMetricsAndValidation:
+    def test_counters_and_gauge(self):
+        registry = MetricsRegistry()
+        control = AdmissionController(
+            max_queue=1, max_inflight_per_client=1, metrics=registry
+        )
+        control.admit("a")
+        control.admit("b")
+        snapshot = registry.snapshot()
+        assert snapshot["admission.admitted"] == 1
+        assert snapshot["admission.rejected.queue_full"] == 1
+        assert snapshot["admission.queue_depth"] == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_queue=0)
+        with pytest.raises(ValueError):
+            AdmissionController(max_inflight_per_client=0)
+
+    def test_release_never_goes_negative(self):
+        control = AdmissionController()
+        control.release("ghost")
+        assert control.depth == 0

@@ -1,0 +1,129 @@
+"""The acceptance scenario from the serving-layer issue.
+
+An in-process 3-shard cluster (replication factor 2) serves a bench
+matrix with results semantically identical to the local single-process
+path; killing one shard mid-run returns zero wrong results; and an
+anti-entropy sweep restores the lost replicas, asserted via Merkle
+digests.
+"""
+
+import pytest
+
+from repro.engine.fingerprint import result_fingerprint
+from repro.engine.jobs import CompileJob, Outcome
+from repro.machine.config import parse_config
+from repro.pipeline.driver import Scheme, compile_loop
+from repro.serve.cluster import ServeCluster
+from repro.workloads.specfp import benchmark_loops
+
+MACHINE = "4c1b4l64r"
+SCHEMES = (Scheme.BASELINE, Scheme.REPLICATION)
+BENCHMARKS = ("tomcatv", "mgrid")
+LOOPS_PER_BENCHMARK = 2
+
+
+def _matrix() -> list[CompileJob]:
+    """A small but real slice of the bench matrix: 2 benchmarks x 2
+    loops x 2 schemes = 8 distinct jobs."""
+    jobs = []
+    for benchmark in BENCHMARKS:
+        for i, loop in enumerate(
+            benchmark_loops(benchmark, limit=LOOPS_PER_BENCHMARK)
+        ):
+            for scheme in SCHEMES:
+                jobs.append(
+                    CompileJob(
+                        ddg=loop.ddg,
+                        machine=MACHINE,
+                        scheme=scheme,
+                        tag=f"{benchmark}/{i}/{scheme.value}",
+                    )
+                )
+    return jobs
+
+
+@pytest.fixture(scope="module")
+def expected():
+    """Local single-process fingerprints, the ground truth."""
+    config = parse_config(MACHINE)
+    return {
+        job.content_hash(): result_fingerprint(
+            compile_loop(job.ddg, config, scheme=job.scheme)
+        )
+        for job in _matrix()
+    }
+
+
+def _fingerprints(results):
+    return {
+        r.key: result_fingerprint(r.result) for r in results
+    }
+
+
+def test_three_shard_cluster_acceptance(tmp_path, expected):
+    jobs = _matrix()
+    with ServeCluster(
+        root=tmp_path / "cluster", shards=3, replication=2, executor="thread",
+        workers=2,
+    ) as cluster:
+        # -- the matrix, served -------------------------------------------
+        results = cluster.run_jobs(jobs)
+        assert len(results) == len(jobs)
+        assert all(r.outcome is Outcome.OK for r in results)
+        assert _fingerprints(results) == expected
+        assert cluster.replication_ok(), "fresh run must leave replicas in sync"
+
+        # -- kill one shard mid-run: zero wrong results -------------------
+        cluster.kill_shard(0, wipe=True)
+        cluster.forget_records()  # resubmissions re-walk the cache path
+        survivors = cluster.run_jobs(jobs)
+        assert all(r.outcome is Outcome.OK for r in survivors)
+        assert _fingerprints(survivors) == expected
+        # replication factor 2 means every key kept one live replica,
+        # so the re-run is served from cache, not recomputed
+        assert all(r.cached for r in survivors)
+
+        # -- anti-entropy rebuilds the lost shard -------------------------
+        cluster.restore_shard(0)
+        assert not cluster.replication_ok()
+        report = cluster.sweep()
+        assert report.copies_written > 0
+        assert report.dropped_corrupt == 0
+        # asserted via Merkle digests: every segment's live owners now
+        # hold byte-identical slices
+        for _segment, trees in cluster.cache.segment_trees():
+            assert len({tree.root for tree in trees.values()}) <= 1
+        assert cluster.replication_ok()
+
+        # a second sweep finds nothing left to fix
+        assert cluster.sweep().copies_written == 0
+
+
+def test_cluster_dedupes_concurrent_submissions(tmp_path):
+    jobs = _matrix()[:2]
+    with ServeCluster(
+        root=tmp_path / "dedupe", shards=3, replication=2, executor="thread",
+        workers=2,
+    ) as cluster:
+        first = cluster.run_jobs(jobs + jobs)
+        assert len(first) == 4
+        # same key submitted twice resolves to the same record/result
+        assert first[0].key == first[2].key
+        assert result_fingerprint(first[0].result) == result_fingerprint(
+            first[2].result
+        )
+
+
+def test_single_shard_cluster_is_the_local_path(tmp_path):
+    """The degenerate deployment writes the plain local cache layout."""
+    job = _matrix()[0]
+    with ServeCluster(
+        root=tmp_path / "one", shards=1, replication=1, executor="thread",
+        workers=1,
+    ) as cluster:
+        [served] = cluster.run_jobs([job])
+        assert served.outcome is Outcome.OK
+    key = job.content_hash()
+    assert (tmp_path / "one" / key[:2] / f"{key}.pkl").exists()
+    local = compile_loop(job.ddg, parse_config(MACHINE), scheme=job.scheme)
+    assert result_fingerprint(served.result) == result_fingerprint(local)

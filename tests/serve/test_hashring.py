@@ -1,0 +1,85 @@
+"""The consistent-hash ring."""
+
+import collections
+import hashlib
+
+import pytest
+
+from repro.serve.hashring import HashRing, ring_position
+
+
+def _keys(n):
+    return [hashlib.sha256(str(i).encode()).hexdigest() for i in range(n)]
+
+
+class TestPreference:
+    def test_deterministic_across_instances(self):
+        a = HashRing(4, replication=2)
+        b = HashRing(4, replication=2)
+        for key in _keys(50):
+            assert a.preference(key) == b.preference(key)
+
+    def test_distinct_owners(self):
+        ring = HashRing(5, replication=3)
+        for key in _keys(100):
+            owners = ring.preference(key)
+            assert len(owners) == 3
+            assert len(set(owners)) == 3
+
+    def test_replication_clamped_to_shards(self):
+        ring = HashRing(2, replication=5)
+        assert ring.replication == 2
+        assert len(ring.preference("abc")) == 2
+
+    def test_primary_is_first(self):
+        ring = HashRing(3, replication=2)
+        for key in _keys(20):
+            assert ring.primary(key) == ring.preference(key)[0]
+
+    def test_single_shard(self):
+        ring = HashRing(1, replication=1)
+        assert all(ring.preference(key) == (0,) for key in _keys(10))
+
+    def test_distribution_roughly_balanced(self):
+        ring = HashRing(4, replication=1, vnodes=64)
+        counts = collections.Counter(ring.primary(key) for key in _keys(2000))
+        assert set(counts) == {0, 1, 2, 3}
+        assert min(counts.values()) > 2000 / 4 / 3  # within 3x of fair
+
+    def test_stability_under_shard_growth(self):
+        """Adding a shard remaps only a fraction of keys (consistency)."""
+        before = HashRing(4, replication=1)
+        after = HashRing(5, replication=1)
+        keys = _keys(1000)
+        moved = sum(
+            1 for key in keys if before.primary(key) != after.primary(key)
+        )
+        # naive modulo hashing would remap ~80%; the ring should move
+        # roughly 1/5th of keys to the new shard
+        assert moved < 1000 * 0.45
+
+
+class TestSegments:
+    def test_owners_match_preference(self):
+        ring = HashRing(3, replication=2, vnodes=8)
+        for key in _keys(300):
+            segment = ring.segment_of(key)
+            assert segment.contains(ring_position(key))
+            assert segment.owners == ring.preference(key)
+
+    def test_segments_cover_ring_exactly_once(self):
+        ring = HashRing(3, replication=2, vnodes=8)
+        segments = ring.segments()
+        assert len(segments) == 3 * 8
+        for key in _keys(200):
+            position = ring_position(key)
+            holders = [s for s in segments if s.contains(position)]
+            assert len(holders) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HashRing(0)
+        with pytest.raises(ValueError):
+            HashRing(2, replication=0)
+        with pytest.raises(ValueError):
+            HashRing(2, vnodes=0)

@@ -1,0 +1,52 @@
+"""Merkle trees over entry digests."""
+
+from repro.serve.merkle import MerkleTree, diff_buckets, diff_keys
+
+
+def test_same_entries_same_root():
+    a = MerkleTree({"aa1": "d1", "bb2": "d2"})
+    b = MerkleTree({"bb2": "d2", "aa1": "d1"})  # insertion order irrelevant
+    assert a.root == b.root
+    assert a == b
+    assert diff_buckets(a, b) == []
+
+
+def test_empty_trees_agree():
+    assert MerkleTree({}).root == MerkleTree({}).root
+    assert MerkleTree({}).n_keys == 0
+
+
+def test_changed_digest_detected():
+    a = MerkleTree({"aa1": "d1", "bb2": "d2"})
+    b = MerkleTree({"aa1": "d1", "bb2": "OTHER"})
+    assert a.root != b.root
+    assert diff_keys(a, b) == {"bb2"}
+
+
+def test_missing_key_detected():
+    a = MerkleTree({"aa1": "d1", "bb2": "d2"})
+    b = MerkleTree({"aa1": "d1"})
+    assert diff_keys(a, b) == {"bb2"}
+
+
+def test_diff_localised_to_buckets():
+    """Keys in untouched buckets never show up in the diff."""
+    entries = {f"{i:02x}{'0' * 62}": f"d{i}" for i in range(64)}
+    changed = dict(entries)
+    changed["3f" + "0" * 62] = "DIVERGED"
+    a, b = MerkleTree(entries), MerkleTree(changed)
+    assert diff_keys(a, b) == {"3f" + "0" * 62}
+    assert len(diff_buckets(a, b)) == 1
+
+
+def test_wire_form():
+    tree = MerkleTree({"aa1": "d1"})
+    wire = tree.to_wire()
+    assert wire["root"] == tree.root
+    assert wire["n_keys"] == 1
+    assert len(wire["buckets"]) == 1
+
+
+def test_non_hex_keys_still_bucket():
+    tree = MerkleTree({"not-hex!": "d"})
+    assert tree.n_keys == 1

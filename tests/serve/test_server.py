@@ -1,0 +1,200 @@
+"""The HTTP API, end to end over a real socket."""
+
+import http.client
+import json
+
+import pytest
+
+from repro.engine.fingerprint import result_fingerprint
+from repro.engine.jobs import CompileJob
+from repro.machine.config import parse_config
+from repro.pipeline.driver import Scheme, compile_loop
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.cluster import ServeCluster
+from repro.workloads.patterns import daxpy, dot_product, stencil5
+
+MACHINE = "2c1b2l64r"
+
+
+@pytest.fixture(scope="module")
+def cluster(tmp_path_factory):
+    root = tmp_path_factory.mktemp("serve-http")
+    with ServeCluster(
+        root=root, shards=2, replication=2, executor="thread", workers=2,
+        max_inflight=4,  # well below queue_limit so client_capped is reachable
+        http=True,
+    ) as up:
+        yield up
+
+
+@pytest.fixture()
+def client(cluster):
+    return ServeClient(cluster.url, client_id="pytest")
+
+
+def _job(scheme=Scheme.REPLICATION, ddg=None, tag="http/test"):
+    return CompileJob(
+        ddg=ddg if ddg is not None else daxpy(),
+        machine=MACHINE,
+        scheme=scheme,
+        tag=tag,
+    )
+
+
+class TestSubmitAndPoll:
+    def test_submit_wait_matches_local_compile(self, client):
+        job = _job()
+        submitted = client.submit(job)
+        assert submitted["key"] == job.content_hash()
+        done = client.wait(submitted["key"], timeout=120.0)
+        assert done["status"] == "done"
+        assert done["outcome"] == "ok"
+        local = compile_loop(
+            daxpy(), parse_config(MACHINE), scheme=Scheme.REPLICATION
+        )
+        assert done["fingerprint"] == result_fingerprint(local)
+
+    def test_resubmit_is_idempotent(self, client):
+        job = _job(scheme=Scheme.BASELINE, tag="http/idempotent")
+        first = client.submit(job)
+        client.wait(first["key"], timeout=120.0)
+        again = client.submit(job)
+        assert again["key"] == first["key"]
+        assert again["status"] == "done"
+
+    def test_submit_by_key_completes_from_cache(self, client):
+        job = _job(ddg=dot_product(), tag="http/bykey")
+        client.submit(job)
+        client.wait(job.content_hash(), timeout=120.0)
+        status, payload = client.submit_key(job.content_hash())
+        assert status == 200
+        assert payload["status"] == "done"
+
+    def test_submit_by_unknown_key_is_404(self, client):
+        status, payload = client.submit_key("0" * 64)
+        assert status == 404
+        assert "error" in payload
+
+    def test_status_of_unknown_job_is_404(self, client):
+        with pytest.raises(ServeError) as err:
+            client.status("f" * 64)
+        assert err.value.status == 404
+
+
+class TestEvents:
+    def test_stream_replays_history_and_terminates(self, client):
+        job = _job(ddg=dot_product(), scheme=Scheme.BASELINE, tag="http/events")
+        client.submit(job)
+        client.wait(job.content_hash(), timeout=120.0)
+        events = client.events(job.content_hash())
+        assert events, "stream must carry at least the terminal event"
+        kinds = [event["kind"] for event in events]
+        assert kinds[-1] in ("finished", "cache_hit")
+        assert all(event["key"] == job.content_hash() for event in events)
+
+    def test_events_of_unknown_job_is_404(self, client):
+        with pytest.raises(ServeError) as err:
+            client.events("a" * 64)
+        assert err.value.status == 404
+
+
+class TestProtocolErrors:
+    def _raw(self, cluster, method, path, body=None, headers=None):
+        connection = http.client.HTTPConnection(
+            "127.0.0.1", int(cluster.url.rsplit(":", 1)[1]), timeout=30
+        )
+        try:
+            connection.request(method, path, body=body, headers=headers or {})
+            response = connection.getresponse()
+            return response.status, dict(response.getheaders()), response.read()
+        finally:
+            connection.close()
+
+    def test_bad_json_body_is_400(self, cluster):
+        status, _, body = self._raw(
+            cluster, "POST", "/jobs", body=b"{not json",
+            headers={"Content-Length": "9"},
+        )
+        assert status == 400
+        assert b"bad JSON" in body
+
+    def test_bad_job_payload_is_400(self, cluster):
+        raw = json.dumps({"job": {"nonsense": True}}).encode()
+        status, _, body = self._raw(
+            cluster, "POST", "/jobs", body=raw,
+            headers={"Content-Length": str(len(raw))},
+        )
+        assert status == 400
+        assert b"bad job payload" in body
+
+    def test_wrong_method_is_405(self, cluster):
+        assert self._raw(cluster, "DELETE", "/jobs")[0] == 405
+        assert self._raw(cluster, "POST", "/jobs/" + "0" * 64)[0] == 405
+
+    def test_unknown_route_is_404(self, cluster):
+        assert self._raw(cluster, "GET", "/nope")[0] == 404
+
+    def test_health_and_stats(self, client):
+        assert client.health()["status"] == "ok"
+        stats = client.stats()
+        assert stats["ring"] == {"shards": 2, "replication": 2, "vnodes": 16}
+        assert stats["admission"]["queue_limit"] >= 1
+        assert {shard["id"] for shard in stats["shards"]} == {0, 1}
+
+
+class TestBackpressure:
+    def test_capped_client_gets_429_with_retry_after(self, cluster):
+        admission = cluster.manager.admission
+        # occupy every slot this client id is allowed
+        for _ in range(admission.max_inflight_per_client):
+            assert admission.admit("hog").admitted
+        try:
+            # a job no other test submits: tags don't enter the content
+            # hash, so reusing a ddg+scheme pair would dedupe against an
+            # existing record and bypass admission entirely
+            hog = ServeClient(cluster.url, client_id="hog")
+            status, payload = hog.try_submit(
+                _job(ddg=stencil5(), scheme=Scheme.BASELINE, tag="http/hog")
+            )
+            assert status == 429
+            assert payload["error"] == "client_capped"
+            assert payload["retry_after"] > 0
+            # header form, for well-behaved generic clients
+            connection = http.client.HTTPConnection(
+                "127.0.0.1", int(cluster.url.rsplit(":", 1)[1]), timeout=30
+            )
+            try:
+                raw = json.dumps(
+                    {
+                        "job": _job(
+                            ddg=stencil5(), scheme=Scheme.BASELINE, tag="http/hog"
+                        ).to_wire()
+                    }
+                ).encode()
+                connection.request(
+                    "POST", "/jobs", body=raw,
+                    headers={"x-repro-client": "hog"},
+                )
+                response = connection.getresponse()
+                response.read()
+                assert response.status == 429
+                assert response.getheader("Retry-After") is not None
+            finally:
+                connection.close()
+        finally:
+            for _ in range(admission.max_inflight_per_client):
+                admission.release("hog")
+
+    def test_draining_server_answers_503(self, cluster, client):
+        admission = cluster.manager.admission
+        admission.start_drain()
+        try:
+            assert client.health()["status"] == "draining"
+            status, payload = client.try_submit(
+                _job(ddg=stencil5(), tag="http/drain")
+            )
+            assert status == 503
+            assert payload["error"] == "draining"
+        finally:
+            admission.stop_drain()
+        assert client.health()["status"] == "ok"

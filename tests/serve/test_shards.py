@@ -1,0 +1,186 @@
+"""The sharded, replicated cache: routing, repair, anti-entropy."""
+
+import hashlib
+
+import pytest
+
+from repro.engine.fingerprint import result_fingerprint
+from repro.machine.config import parse_config
+from repro.pipeline.driver import Scheme, compile_loop
+from repro.serve.shards import ShardedCache
+from repro.workloads.patterns import daxpy
+
+
+@pytest.fixture(scope="module")
+def result():
+    """One real CompileResult to store under synthetic keys."""
+    return compile_loop(daxpy(), parse_config("2c1b2l64r"), scheme=Scheme.BASELINE)
+
+
+def _key(i: int) -> str:
+    return hashlib.sha256(f"entry-{i}".encode()).hexdigest()
+
+
+def _fresh(tmp_path, **kwargs) -> ShardedCache:
+    defaults = dict(n_shards=3, replication=2, vnodes=8)
+    defaults.update(kwargs)
+    return ShardedCache(tmp_path / "store", **defaults)
+
+
+class TestRoutingAndReplication:
+    def test_put_writes_to_every_owner(self, tmp_path, result):
+        cache = _fresh(tmp_path)
+        key = _key(1)
+        cache.put(key, result)
+        owners = cache.ring.preference(key)
+        assert len(owners) == 2
+        for shard_id in owners:
+            assert cache.shards[shard_id].digest(key) is not None
+        for shard_id in set(range(3)) - set(owners):
+            assert cache.shards[shard_id].digest(key) is None
+
+    def test_replicas_byte_identical(self, tmp_path, result):
+        cache = _fresh(tmp_path)
+        key = _key(2)
+        cache.put(key, result)
+        digests = {
+            cache.shards[s].digest(key) for s in cache.ring.preference(key)
+        }
+        assert len(digests) == 1
+
+    def test_get_round_trip(self, tmp_path, result):
+        cache = _fresh(tmp_path)
+        key = _key(3)
+        assert cache.get(key) is None
+        cache.put(key, result)
+        fetched = cache.get(key)
+        assert fetched is not None
+        assert result_fingerprint(fetched) == result_fingerprint(result)
+        stats = cache.stats()
+        assert stats.hits == 1 and stats.misses == 1
+
+    def test_single_shard_uses_root_directly(self, tmp_path, result):
+        """The degenerate deployment shares the plain cache layout."""
+        cache = _fresh(tmp_path, n_shards=1, replication=1)
+        key = _key(4)
+        cache.put(key, result)
+        assert cache.shards[0].root == tmp_path / "store"
+        assert (tmp_path / "store" / key[:2] / f"{key}.pkl").exists()
+
+
+class TestReadRepair:
+    def test_missing_replica_restored_on_get(self, tmp_path, result):
+        cache = _fresh(tmp_path)
+        key = _key(10)
+        cache.put(key, result)
+        owners = cache.ring.preference(key)
+        victim = cache.shards[owners[-1]]
+        victim.remove(key)
+        assert victim.digest(key) is None
+        assert cache.get(key) is not None
+        assert victim.digest(key) is not None
+
+    def test_divergent_replica_rewritten_on_get(self, tmp_path, result):
+        cache = _fresh(tmp_path)
+        key = _key(11)
+        cache.put(key, result)
+        owners = cache.ring.preference(key)
+        good = cache.shards[owners[0]].digest(key)
+        victim = cache.shards[owners[-1]]
+        victim.write_bytes(key, b"torn garbage")
+        assert cache.get(key) is not None
+        assert victim.digest(key) == good
+
+    def test_down_shard_served_by_replica(self, tmp_path, result):
+        cache = _fresh(tmp_path)
+        key = _key(12)
+        cache.put(key, result)
+        primary = cache.ring.preference(key)[0]
+        cache.kill_shard(primary, wipe=True)
+        fetched = cache.get(key)
+        assert fetched is not None
+        assert result_fingerprint(fetched) == result_fingerprint(result)
+
+    def test_all_owners_down_is_a_miss(self, tmp_path, result):
+        cache = _fresh(tmp_path)
+        key = _key(13)
+        cache.put(key, result)
+        for shard_id in cache.ring.preference(key):
+            cache.kill_shard(shard_id, wipe=False)
+        assert cache.get(key) is None
+
+
+class TestAntiEntropy:
+    def test_sweep_rebuilds_wiped_shard(self, tmp_path, result):
+        cache = _fresh(tmp_path)
+        keys = [_key(i) for i in range(20, 40)]
+        for key in keys:
+            cache.put(key, result)
+        assert cache.replication_ok()
+        cache.kill_shard(0, wipe=True)
+        cache.restore_shard(0)
+        assert not cache.replication_ok()
+        report = cache.sweep()
+        assert report.copies_written > 0
+        assert cache.replication_ok()
+        # every key shard 0 owns is back, byte-identical to its peer
+        for key in keys:
+            owners = cache.ring.preference(key)
+            if 0 in owners:
+                peer = next(s for s in owners if s != 0)
+                assert cache.shards[0].digest(key) == cache.shards[peer].digest(key)
+
+    def test_sweep_idempotent(self, tmp_path, result):
+        cache = _fresh(tmp_path)
+        for i in range(50, 60):
+            cache.put(_key(i), result)
+        first = cache.sweep()
+        assert first.divergent_segments == 0
+        assert first.copies_written == 0
+
+    def test_sweep_repairs_corrupt_replica(self, tmp_path, result):
+        cache = _fresh(tmp_path)
+        key = _key(70)
+        cache.put(key, result)
+        owners = cache.ring.preference(key)
+        cache.shards[owners[1]].write_bytes(key, b"garbage")
+        report = cache.sweep()
+        assert report.copies_written == 1
+        digests = {cache.shards[s].digest(key) for s in owners}
+        assert len(digests) == 1
+
+    def test_sweep_drops_unrecoverable_entries(self, tmp_path):
+        cache = _fresh(tmp_path)
+        key = _key(71)
+        # diverging garbage: identical torn bytes would keep the Merkle
+        # roots equal and the segment would (correctly) be skipped
+        for i, shard_id in enumerate(cache.ring.preference(key)):
+            cache.shards[shard_id].write_bytes(key, b"torn copy %d" % i)
+        report = cache.sweep()
+        assert report.dropped_corrupt == 2
+        assert cache.get(key) is None
+
+    def test_merkle_digests_exposed(self, tmp_path, result):
+        cache = _fresh(tmp_path)
+        for i in range(80, 90):
+            cache.put(_key(i), result)
+        for _segment, trees in cache.segment_trees():
+            roots = {tree.root for tree in trees.values()}
+            assert len(roots) <= 1
+
+
+class TestStats:
+    def test_aggregates_across_shards(self, tmp_path, result):
+        cache = _fresh(tmp_path)
+        for i in range(5):
+            cache.put(_key(100 + i), result)
+        stats = cache.stats()
+        assert stats.entries == 5 * 2  # replication factor 2
+        assert stats.total_bytes > 0
+
+    def test_clear_removes_everything(self, tmp_path, result):
+        cache = _fresh(tmp_path)
+        for i in range(3):
+            cache.put(_key(200 + i), result)
+        assert cache.clear() == 6
+        assert cache.stats().entries == 0

@@ -261,6 +261,47 @@ class TestSelfCheck:
         assert "verified" in out
 
 
+class TestCache:
+    def test_path_prints_root(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "store"))
+        assert main(["cache", "path"]) == 0
+        assert capsys.readouterr().out.strip() == str(tmp_path / "store")
+
+    def test_path_honors_dir_flag(self, capsys, tmp_path):
+        assert main(["cache", "path", "--dir", str(tmp_path / "d")]) == 0
+        assert capsys.readouterr().out.strip() == str(tmp_path / "d")
+
+    def test_stats_on_fresh_store(self, capsys, tmp_path):
+        assert main(["cache", "stats", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "cache at" in out
+        assert "0 entries on disk" in out
+
+    def test_clear_reports_removed_count(self, capsys, tmp_path):
+        from repro.engine.cache import ResultCache
+        from repro.engine.jobs import CompileJob
+        from repro.pipeline.driver import Scheme, compile_loop
+        from repro.machine.config import parse_config
+
+        job = CompileJob(ddg=daxpy(), machine="2c1b2l64r", scheme=Scheme.BASELINE)
+        result = compile_loop(
+            daxpy(), parse_config("2c1b2l64r"), scheme=Scheme.BASELINE
+        )
+        ResultCache(root=tmp_path, enabled=True).put(job.content_hash(), result)
+        assert main(["cache", "stats", "--dir", str(tmp_path)]) == 0
+        assert "1 entries on disk" in capsys.readouterr().out
+        assert main(["cache", "clear", "--dir", str(tmp_path)]) == 0
+        assert "removed 1 entries" in capsys.readouterr().out
+        assert list(tmp_path.rglob("*.pkl")) == []
+
+
+class TestServeCLI:
+    def test_serve_smoke_exit_code(self, capsys):
+        assert main(["serve", "--smoke", "--executor", "thread"]) == 0
+        out = capsys.readouterr().out
+        assert "serve smoke: OK" in out
+
+
 class TestParser:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
@@ -269,3 +310,7 @@ class TestParser:
     def test_unknown_pattern_is_a_file_path(self):
         with pytest.raises(FileNotFoundError):
             main(["compile", "--loop", "no_such_pattern"])
+
+    def test_cache_rejects_unknown_action(self):
+        with pytest.raises(SystemExit):
+            main(["cache", "defragment"])

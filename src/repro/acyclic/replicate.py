@@ -111,7 +111,7 @@ def replicate_acyclic(
             for uid in subgraph.members:
                 missing = clusters - trial.present_clusters(uid)
                 if missing:
-                    trial.replicas.setdefault(uid, set()).update(missing)
+                    trial.add_replicas(uid, set(missing))
                     added = True
             if not added:
                 continue

@@ -177,11 +177,52 @@ def _stage_breakdown(results) -> dict[str, float]:
     return totals
 
 
+def _percentile(values: list[float], q: float) -> float:
+    """Linearly interpolated percentile of a non-empty sample."""
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = q / 100.0 * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    frac = rank - low
+    return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+
+def _stage_percentiles(results) -> dict[str, dict[str, float]]:
+    """Per-stage p50/p95 wall time across loops (one sample per job).
+
+    The totals in :func:`_stage_breakdown` show where the aggregate
+    time went; the percentiles show the *distribution* per compiled
+    loop, so a regression on the slow tail is visible without rerunning
+    under a profiler.
+    """
+    samples: dict[str, list[float]] = {}
+    for res in results:
+        if res.ok and res.result.diagnostics is not None:
+            for stage, seconds in res.result.diagnostics.stage_seconds.items():
+                samples.setdefault(stage, []).append(seconds)
+    return {
+        stage: {
+            "samples": len(values),
+            "p50_seconds": _percentile(values, 50.0),
+            "p95_seconds": _percentile(values, 95.0),
+        }
+        for stage, values in samples.items()
+    }
+
+
 #: Diagnostics counters that are rates, not additive totals — the bench
 #: aggregation recomputes them from the summed raw counts instead.
 #: (Names are ``<stage>.<counter>`` since the obs metrics registry
 #: namespaces every counter by the pass that produced it.)
-_RATE_COUNTERS = ("partition.lazy_skip_rate", "partition.analysis_memo_hit_rate")
+_RATE_COUNTERS = (
+    "partition.lazy_skip_rate",
+    "partition.analysis_memo_hit_rate",
+    "partition.length_memo_hit_rate",
+    "replicate.rescore_skip_rate",
+    "kernels.numpy_enabled",
+)
 
 
 def _counter_totals(results) -> dict[str, float]:
@@ -212,6 +253,31 @@ def _counter_totals(results) -> dict[str, float]:
     if lookups:
         totals["partition.analysis_memo_hit_rate"] = (
             totals.get("partition.analysis_memo_hits", 0.0) / lookups
+        )
+    length_asks = totals.get("partition.lengths_computed", 0.0) + totals.get(
+        "partition.lengths_memoized", 0.0
+    )
+    if length_asks:
+        totals["partition.length_memo_hit_rate"] = (
+            totals.get("partition.lengths_memoized", 0.0) / length_asks
+        )
+    walks = totals.get("replicate.subgraph_walks", 0.0) + totals.get(
+        "replicate.subgraph_reused", 0.0
+    )
+    if walks:
+        totals["replicate.rescore_skip_rate"] = (
+            totals.get("replicate.subgraph_reused", 0.0) / walks
+        )
+    numpy_flags = [
+        res.result.diagnostics.counters.get("kernels.numpy_enabled")
+        for res in results
+        if res.ok and res.result.diagnostics is not None
+    ]
+    if any(flag is not None for flag in numpy_flags):
+        # A 0/1 backend flag, not an additive count: report whether ANY
+        # job ran with the NumPy kernels allowed.
+        totals["kernels.numpy_enabled"] = float(
+            any(flag for flag in numpy_flags if flag)
         )
     return totals
 
@@ -293,6 +359,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     hit_rate = hits / len(results) if results else 0.0
     stage_totals = _stage_breakdown(results)
     stage_sum = sum(stage_totals.values()) or 1.0
+    stage_pcts = _stage_percentiles(results)
     counter_totals = _counter_totals(results)
 
     if args.format == "json":
@@ -325,6 +392,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 stage: {
                     "seconds": round(seconds, 6),
                     "share": round(seconds / stage_sum, 6),
+                    "samples": stage_pcts[stage]["samples"],
+                    "p50_seconds": round(stage_pcts[stage]["p50_seconds"], 6),
+                    "p95_seconds": round(stage_pcts[stage]["p95_seconds"], 6),
                 }
                 for stage, seconds in sorted(
                     stage_totals.items(), key=lambda kv: -kv[1]
@@ -358,9 +428,15 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if stage_totals:
         print(
             format_table(
-                ["stage", "seconds", "share %"],
+                ["stage", "seconds", "share %", "p50 ms", "p95 ms"],
                 [
-                    [stage, seconds, 100.0 * seconds / stage_sum]
+                    [
+                        stage,
+                        seconds,
+                        100.0 * seconds / stage_sum,
+                        1e3 * stage_pcts[stage]["p50_seconds"],
+                        1e3 * stage_pcts[stage]["p95_seconds"],
+                    ]
                     for stage, seconds in sorted(
                         stage_totals.items(), key=lambda kv: -kv[1]
                     )

@@ -1,0 +1,194 @@
+"""Incrementally maintained candidate scoring for the replicator.
+
+:func:`repro.core.replicator.score_candidates` re-walks every active
+communication's subgraph and removable set from scratch each round,
+which makes the replication loop quadratic in the number of
+communications. But one :meth:`~repro.core.state.ReplicationState.apply`
+only perturbs a small neighbourhood of the graph, and both walks read a
+precisely characterizable slice of the state:
+
+* the subgraph walk consults ``has_comm`` on its members and on the
+  frontier where it stopped, and presence sets of its members, of the
+  producer and of the producer's register consumers;
+* the removable walk consults ``has_comm`` on the uids it visited and
+  presence restricted to the communication's home cluster.
+
+:class:`CandidateScorer` caches both walk results per communication and,
+fed the :class:`~repro.core.state.StateDelta` of each ``apply``, drops
+exactly the entries whose recorded read set intersects the delta.
+Everything *cheap* — the sharing table, resource feasibility, weights —
+is still recomputed every round against the live state, which keeps the
+scorer's candidate list bit-identical to the from-scratch reference
+(``tests/core/test_incremental_replicator.py`` enforces this the same
+way ``tests/partition/test_incremental.py`` pins ``MoveEvaluator``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from fractions import Fraction
+
+from repro.core.removable import find_removable_instructions_traced
+from repro.core.state import ReplicationState, StateDelta
+from repro.core.subgraph import (
+    ReplicationSubgraph,
+    find_replication_subgraph_traced,
+    fits_resources,
+)
+from repro.core.weights import sharing_table, subgraph_weight
+
+
+@dataclasses.dataclass
+class ReplicatorStats:
+    """Observability counters for one replication run (or many).
+
+    ``*_walks`` count from-scratch graph walks; ``*_reused`` count
+    rounds where a cached walk survived the previous ``apply``.
+    """
+
+    rounds: int = 0
+    candidates_scored: int = 0
+    subgraph_walks: int = 0
+    subgraph_reused: int = 0
+    removable_walks: int = 0
+    removable_reused: int = 0
+
+    @property
+    def rescore_skip_rate(self) -> float:
+        """Fraction of walks answered from cache."""
+        reused = self.subgraph_reused + self.removable_reused
+        total = reused + self.subgraph_walks + self.removable_walks
+        return reused / total if total else 0.0
+
+    def as_counters(self) -> dict[str, int]:
+        """Flat mapping for :class:`~repro.pipeline.driver.CompileDiagnostics`."""
+        return {
+            "rounds": self.rounds,
+            "candidates_scored": self.candidates_scored,
+            "subgraph_walks": self.subgraph_walks,
+            "subgraph_reused": self.subgraph_reused,
+            "removable_walks": self.removable_walks,
+            "removable_reused": self.removable_reused,
+        }
+
+
+@dataclasses.dataclass
+class _CandidateEntry:
+    """Cached walk results for one communication, plus their read sets."""
+
+    subgraph: ReplicationSubgraph
+    blocked: frozenset[int]
+    reg_children: frozenset[int]
+    home: int
+    removable: list[int] | None = None
+    visited: frozenset[int] = frozenset()
+
+
+class CandidateScorer:
+    """Delta-maintained equivalent of :func:`score_candidates`.
+
+    Usage::
+
+        scorer = CandidateScorer(state, stats)
+        while ...:
+            best = scorer.candidates()[0]
+            delta = state.apply(...)
+            scorer.observe(delta)
+
+    The scorer only ever reads ``state``; every mutation must be
+    reported through :meth:`observe` or cached entries go stale.
+    """
+
+    def __init__(self, state: ReplicationState, stats: ReplicatorStats) -> None:
+        self._state = state
+        self._stats = stats
+        self._entries: dict[int, _CandidateEntry] = {}
+
+    def observe(self, delta: StateDelta) -> None:
+        """Invalidate exactly the cache entries ``delta`` may affect."""
+        changed = delta.changed
+        flips = delta.flipped
+        touched = delta.touched_clusters
+        for comm, entry in list(self._entries.items()):
+            if comm == delta.comm or comm in flips:
+                del self._entries[comm]
+                continue
+            members = entry.subgraph.members
+            subgraph_stale = (
+                (flips & members)
+                or (flips & entry.blocked)
+                or (changed & members)
+                or (changed & entry.reg_children)
+                or (comm in changed)
+            )
+            if subgraph_stale:
+                del self._entries[comm]
+                continue
+            if entry.home in touched or (flips & entry.visited):
+                # The subgraph survives but the removable walk read
+                # state that moved; recompute it lazily on next use.
+                entry.removable = None
+                entry.visited = frozenset()
+
+    def _entry(self, comm: int) -> _CandidateEntry:
+        entry = self._entries.get(comm)
+        if entry is None:
+            subgraph, blocked = find_replication_subgraph_traced(self._state, comm)
+            entry = _CandidateEntry(
+                subgraph=subgraph,
+                blocked=blocked,
+                reg_children=frozenset(self._state.register_children(comm)),
+                home=self._state.partition.cluster_of(comm),
+            )
+            self._entries[comm] = entry
+            self._stats.subgraph_walks += 1
+        else:
+            self._stats.subgraph_reused += 1
+        return entry
+
+    def _removable(self, entry: _CandidateEntry) -> list[int]:
+        if entry.removable is None:
+            order, visited = find_removable_instructions_traced(
+                self._state, entry.subgraph
+            )
+            entry.removable = order
+            entry.visited = visited
+            self._stats.removable_walks += 1
+        else:
+            self._stats.removable_reused += 1
+        return entry.removable
+
+    def candidates(self) -> list:
+        """Scored feasible candidates, identical to the reference."""
+        # Imported here: replicator imports this module for the stats
+        # type, and Candidate lives next to the reference scorer.
+        from repro.core.replicator import Candidate
+
+        state = self._state
+        self._stats.rounds += 1
+        entries = [self._entry(comm) for comm in state.active_comms()]
+        sharing = sharing_table([entry.subgraph for entry in entries])
+        candidates = []
+        for entry in entries:
+            subgraph = entry.subgraph
+            self._stats.candidates_scored += 1
+            if not subgraph.needed:
+                candidates.append(
+                    Candidate(
+                        subgraph=subgraph,
+                        removable=self._removable(entry),
+                        weight=Fraction(0),
+                    )
+                )
+                continue
+            if not fits_resources(subgraph, state):
+                continue
+            removable = self._removable(entry)
+            weight = subgraph_weight(state, subgraph, removable, sharing)
+            candidates.append(
+                Candidate(subgraph=subgraph, removable=removable, weight=weight)
+            )
+        candidates.sort(
+            key=lambda c: (c.weight, c.subgraph.n_new_instances, c.subgraph.comm)
+        )
+        return candidates

@@ -104,7 +104,7 @@ def replicate_for_length(
                 partition, machine, ii, state.to_plan(initial_coms=0)
             )
             for uid, targets in narrowed.needed.items():
-                trial.replicas.setdefault(uid, set()).update(targets)
+                trial.add_replicas(uid, set(targets))
             # The communication survives for non-covered consumers; the
             # dynamic comm queries account for that automatically.
             trial_length = _estimated_length(partition, machine, ii, trial)

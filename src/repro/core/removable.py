@@ -48,14 +48,30 @@ def find_removable_instructions(
     The result lists original uids, in discovery order (producer first),
     all placed in the communication's home cluster.
     """
+    order, _ = find_removable_instructions_traced(state, subgraph)
+    return order
+
+
+def find_removable_instructions_traced(
+    state: ReplicationState, subgraph: ReplicationSubgraph
+) -> tuple[list[int], frozenset[int]]:
+    """Figure 5 plus the set of uids the walk examined.
+
+    Every state answer the walk depends on is local to the visited uids
+    (their ``has_comm`` bits) or to presence in the home cluster, so the
+    incremental scorer can keep a cached result as long as no visited
+    uid flipped and no presence in the home cluster changed.
+    """
     comm = subgraph.comm
     home = state.partition.cluster_of(comm)
     removable: set[int] = set()
+    visited: set[int] = set()
     order: list[int] = []
     candidates: list[int] = [comm]
 
     while candidates:
         uid = candidates.pop()
+        visited.add(uid)
         if uid in removable or uid in state.removed:
             continue
         node = state.ddg.node(uid)
@@ -76,4 +92,4 @@ def find_removable_instructions(
             if state.partition.cluster_of(parent) == home:
                 candidates.append(parent)
 
-    return order
+    return order, frozenset(visited)

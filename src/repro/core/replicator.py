@@ -25,6 +25,7 @@ from __future__ import annotations
 import dataclasses
 from fractions import Fraction
 
+from repro.core.incremental import CandidateScorer, ReplicatorStats
 from repro.core.plan import ReplicationPlan
 from repro.core.removable import find_removable_instructions
 from repro.core.state import ReplicationState
@@ -86,6 +87,7 @@ def replicate(
     ii: int,
     spare_comms: int = 0,
     max_rounds: int | None = None,
+    stats: ReplicatorStats | None = None,
 ) -> ReplicationPlan:
     """Run the replication algorithm; see the module docstring.
 
@@ -97,6 +99,8 @@ def replicate(
             stop rule (ablation only; 0 reproduces the paper).
         max_rounds: safety bound on replication rounds (defaults to the
             initial communication count).
+        stats: optional :class:`ReplicatorStats` accumulating walk/reuse
+            counters across calls (the pipeline passes one per pass).
 
     Returns:
         A plan; ``plan.feasible`` is False when the bus would still be
@@ -110,6 +114,7 @@ def replicate(
     rounds = max_rounds if max_rounds is not None else initial + spare_comms
     spare = spare_comms
     removed = 0
+    scorer = CandidateScorer(state, stats if stats is not None else ReplicatorStats())
 
     # extra_coms is re-derived from the state every round rather than
     # counted down: removing instructions can silently kill *other*
@@ -120,11 +125,14 @@ def replicate(
         spare_round = extra == 0 and spare > 0 and state.nof_coms() > 0
         if extra == 0 and not spare_round:
             break
-        candidates = score_candidates(state)
+        candidates = scorer.candidates()
         if not candidates:
             return state.to_plan(initial_coms=initial, feasible=extra == 0)
         best = candidates[0]
-        state.apply(best.subgraph.comm, dict(best.subgraph.needed), best.removable)
+        delta = state.apply(
+            best.subgraph.comm, dict(best.subgraph.needed), best.removable
+        )
+        scorer.observe(delta)
         removed += 1
         if spare_round:
             spare -= 1

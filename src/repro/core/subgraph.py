@@ -65,14 +65,31 @@ def find_replication_subgraph(
     state: ReplicationState, comm: int
 ) -> ReplicationSubgraph:
     """Figure 4's algorithm, evaluated against the current state."""
+    subgraph, _ = find_replication_subgraph_traced(state, comm)
+    return subgraph
+
+
+def find_replication_subgraph_traced(
+    state: ReplicationState, comm: int
+) -> tuple[ReplicationSubgraph, frozenset[int]]:
+    """Figure 4 plus the walk's stopping frontier.
+
+    Returns the subgraph together with the set of parents where the
+    upward walk stopped because their value is still broadcast. The
+    frontier is exactly the set of non-member uids whose ``has_comm``
+    answer the walk consulted, which is what the incremental scorer
+    needs to decide whether a cached subgraph survived a state change.
+    """
     members: set[int] = {comm}
+    blocked: set[int] = set()
     candidates: list[int] = list(state.register_parents(comm))
     while candidates:
         uid = candidates.pop()
-        if uid in members:
+        if uid in members or uid in blocked:
             continue
         if state.has_comm(uid):
             # The value is broadcast anyway; replicas can read the copy.
+            blocked.add(uid)
             continue
         members.add(uid)
         candidates.extend(state.register_parents(uid))
@@ -82,12 +99,13 @@ def find_replication_subgraph(
         uid: frozenset(destinations - state.present_clusters(uid))
         for uid in members
     }
-    return ReplicationSubgraph(
+    subgraph = ReplicationSubgraph(
         comm=comm,
         members=frozenset(members),
         destinations=destinations,
         needed={uid: clusters for uid, clusters in needed.items() if clusters},
     )
+    return subgraph, frozenset(blocked)
 
 
 def fits_resources(subgraph: ReplicationSubgraph, state: ReplicationState) -> bool:

@@ -81,10 +81,16 @@ class AnalysisMemoStats:
     The counters survive memo invalidation (a graph mutation clears
     the cached results, not the bookkeeping), so they describe the
     graph's whole lifetime in this process.
+
+    ``prefills`` counts per-(version, II) positive-cycle entries written
+    as a side effect of the RecMII search and divergent analyses, so
+    later escalation probes of the same II are dict hits instead of
+    fresh graph walks.
     """
 
     hits: int = 0
     misses: int = 0
+    prefills: int = 0
 
     @property
     def lookups(self) -> int:
@@ -150,15 +156,62 @@ def rec_mii(ddg: Ddg) -> int:
     return _memoized(ddg, ("rec_mii",), lambda: _rec_mii_uncached(ddg))
 
 
+def positive_cycle(ddg: Ddg, ii: int) -> bool:
+    """Memoized positive-cycle test at a candidate II.
+
+    Shares the per-(version, II) entries the RecMII search prefills, so
+    repeated escalation probes never re-walk the graph.
+    """
+    return _probe_positive(_memo_for(ddg), csr_mod.csr_view(ddg), ii)
+
+
+def _probe_positive(memo: _AnalysisMemo, csr, ii: int) -> bool:
+    key = ("poscycle", ii)
+    cached = memo.entries.get(key)
+    if cached is None:
+        cached = csr_mod.has_positive_cycle(csr, ii)
+        memo.entries[key] = cached
+        memo.stats.prefills += 1
+    return cached
+
+
+#: Interior pivots per batched positive-cycle call during the RecMII
+#: bisection (the NumPy backend evaluates them in one kernel call).
+_REC_MII_BATCH = 8
+
+
 def _rec_mii_uncached(ddg: Ddg) -> int:
     csr = csr_mod.csr_view(ddg)
     high = max(1, sum(node.latency for node in ddg.nodes()))
     if csr_mod.has_positive_cycle(csr, high):  # pragma: no cover - defensive
         raise DdgError("graph has a zero-distance cycle; not a valid loop DDG")
     low = 1
+    memo = _memo_for(ddg)
+    batched = csr_mod.numpy_active(csr)
     while low < high:
+        if batched and high - low > 2:
+            # Split [low, high) with up to _REC_MII_BATCH evenly spaced
+            # pivots, decided by one vectorized kernel call. The test is
+            # monotone in the II, so the batch brackets the boundary.
+            span = high - low
+            count = min(_REC_MII_BATCH, span - 1) or 1
+            pivots = sorted(
+                {low + (span * step) // (count + 1) for step in range(1, count + 1)}
+                | {(low + high) // 2}
+            )
+            results = csr_mod.has_positive_cycle_batch(csr, pivots)
+            for pivot, positive in zip(pivots, results):
+                memo.entries[("poscycle", pivot)] = positive
+                memo.stats.prefills += 1
+            for pivot, positive in zip(pivots, results):
+                if positive:
+                    low = pivot + 1
+                else:
+                    high = pivot
+                    break
+            continue
         mid = (low + high) // 2
-        if csr_mod.has_positive_cycle(csr, mid):
+        if _probe_positive(memo, csr, mid):
             low = mid + 1
         else:
             high = mid
@@ -301,10 +354,20 @@ def analyze(ddg: Ddg, ii: int, max_rounds: int | None = None) -> LoopAnalysis:
 
 def _analyze_uncached(ddg: Ddg, ii: int, max_rounds: int | None) -> LoopAnalysis:
     csr = csr_mod.csr_view(ddg)
+    memo = _memo_for(ddg)
+    if memo.entries.get(("poscycle", ii)):
+        # A known positive cycle at this II: the relaxation cannot
+        # converge under any round budget, so fail without walking.
+        raise DdgError(f"ASAP relaxation diverged: II={ii} below RecMII?")
     rounds = max_rounds if max_rounds is not None else len(ddg) + 1
     weights = csr_mod.edge_weights_at(csr, ii)
     asap = csr_mod.relax_asap(csr, weights, rounds)
     if asap is None:
+        if max_rounds is None:
+            # Full-budget divergence is exactly the positive-cycle
+            # verdict; remember it for future escalation probes.
+            memo.entries[("poscycle", ii)] = True
+            memo.stats.prefills += 1
         raise DdgError(f"ASAP relaxation diverged: II={ii} below RecMII?")
 
     length = max(begin + lat for begin, lat in zip(asap, csr.latency))

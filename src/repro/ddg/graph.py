@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+import functools
 from collections.abc import Iterable, Iterator
 
 from repro.machine.resources import FuKind, LATENCIES, OpClass, fu_kind_of
@@ -52,12 +53,16 @@ class Node:
     name: str
     op_class: OpClass
 
-    @property
+    # cached_property writes through the instance __dict__, which is
+    # legal on a frozen dataclass and turns the per-access enum-table
+    # lookups into attribute reads on the replication/partition hot
+    # paths (hundreds of thousands of fu_kind asks per compilation).
+    @functools.cached_property
     def latency(self) -> int:
         """Latency in cycles (Table 1)."""
         return LATENCIES[self.op_class]
 
-    @property
+    @functools.cached_property
     def fu_kind(self) -> FuKind:
         """Functional-unit kind executing this operation."""
         return fu_kind_of(self.op_class)

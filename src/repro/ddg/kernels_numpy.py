@@ -1,0 +1,220 @@
+"""NumPy (Jacobi) implementations of the CSR relaxation kernels.
+
+The pure-Python kernels in :mod:`repro.ddg.csr` relax edges one at a
+time in ``ddg.edges()`` order (Gauss-Seidel). A data-parallel kernel
+cannot reproduce that update order, so these implementations use
+synchronous (Jacobi) rounds — every edge reads the previous round's
+distances — and lean on three exactness facts to stay bit-identical:
+
+1. **Converged fixpoints are order-independent.** The relaxations are
+   monotone maps on a lattice (pointwise max toward the least fixpoint
+   above the start vector for ASAP, pointwise min toward the greatest
+   fixpoint below it for ALAP). When Jacobi converges within the round
+   budget, sequential relaxation converges within the same budget to
+   the *same* fixpoint, so returning it is exact.
+2. **The positive-cycle boolean is order-independent.** Without an
+   active positive-weight cycle both orders stabilize within ``n``
+   rounds; with one, neither ever does. So "Jacobi failed to converge
+   in ``n`` rounds" decides the boolean exactly.
+3. **Non-converged partials are order-dependent** and must come from
+   the sequential kernel. Whenever Jacobi exhausts a caller-capped
+   budget (``rounds < n``) without converging — or ``penalized_length``
+   fails to converge at all — these kernels return :data:`FALLBACK`
+   and the dispatcher re-runs the pure-Python kernel.
+
+Per-view arrays (plus destination-sorted permutations so each round is
+a ``reduceat`` segment max instead of a slow ``ufunc.at``) are cached
+on the view object itself and die with it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Sentinel: the Jacobi kernel cannot reproduce the sequential result
+#: (non-converged partial); the caller must use the pure-Python kernel.
+FALLBACK = object()
+
+_BUNDLE_ATTR = "_numpy_bundle"
+
+
+class _Bundle:
+    """Preconverted arrays of one CSR view (cached on the view)."""
+
+    __slots__ = (
+        "n",
+        "src",
+        "dst",
+        "latency",
+        "distance",
+        "register",
+        "node_latency",
+        "fwd_order",
+        "fwd_targets",
+        "fwd_starts",
+        "bwd_order",
+        "bwd_targets",
+        "bwd_starts",
+        "weights",
+    )
+
+    def __init__(self, csr) -> None:
+        self.n = csr.n_nodes
+        self.src = np.asarray(csr.edge_src, dtype=np.int64)
+        self.dst = np.asarray(csr.edge_dst, dtype=np.int64)
+        self.latency = np.asarray(csr.edge_latency, dtype=np.int64)
+        self.distance = np.asarray(csr.edge_distance, dtype=np.int64)
+        self.register = np.asarray(csr.edge_is_register, dtype=bool)
+        self.node_latency = np.asarray(csr.latency, dtype=np.int64)
+        self.fwd_order, self.fwd_targets, self.fwd_starts = _segments(self.dst)
+        self.bwd_order, self.bwd_targets, self.bwd_starts = _segments(self.src)
+        self.weights: dict[int, np.ndarray] = {}
+
+    def weights_at(self, ii: int) -> np.ndarray:
+        """Per-edge longest-path weights at a candidate II (cached)."""
+        cached = self.weights.get(ii)
+        if cached is None:
+            cached = self.latency - ii * self.distance
+            self.weights[ii] = cached
+        return cached
+
+
+def _segments(keys: np.ndarray):
+    """Stable grouping of edge indices by ``keys`` for ``reduceat``."""
+    order = np.argsort(keys, kind="stable")
+    grouped = keys[order]
+    if grouped.size == 0:
+        starts = np.empty(0, dtype=np.int64)
+        targets = np.empty(0, dtype=np.int64)
+    else:
+        boundaries = np.flatnonzero(np.diff(grouped)) + 1
+        starts = np.concatenate(([0], boundaries))
+        targets = grouped[starts]
+    return order, targets, starts
+
+
+def bundle(csr) -> _Bundle:
+    """The (cached) array bundle of a CSR view."""
+    cached = getattr(csr, _BUNDLE_ATTR, None)
+    if cached is None:
+        cached = _Bundle(csr)
+        object.__setattr__(csr, _BUNDLE_ATTR, cached)
+    return cached
+
+
+def _max_round(dist: np.ndarray, bounds: np.ndarray, b: _Bundle) -> np.ndarray:
+    """One Jacobi forward round: per-destination max of edge bounds."""
+    upd = dist.copy()
+    seg = np.maximum.reduceat(bounds[..., b.fwd_order], b.fwd_starts, axis=-1)
+    upd[..., b.fwd_targets] = np.maximum(dist[..., b.fwd_targets], seg)
+    return upd
+
+
+def _min_round(dist: np.ndarray, bounds: np.ndarray, b: _Bundle) -> np.ndarray:
+    """One Jacobi backward round: per-source min of edge bounds."""
+    upd = dist.copy()
+    seg = np.minimum.reduceat(bounds[..., b.bwd_order], b.bwd_starts, axis=-1)
+    upd[..., b.bwd_targets] = np.minimum(dist[..., b.bwd_targets], seg)
+    return upd
+
+
+def relax_asap(csr, weights, rounds: int):
+    """Jacobi forward longest path; list, None, or :data:`FALLBACK`."""
+    b = bundle(csr)
+    if b.n == 0:
+        return [] if rounds >= 1 else None
+    dist = np.zeros(b.n, dtype=np.int64)
+    w = np.asarray(weights, dtype=np.int64)
+    for _ in range(min(rounds, b.n)):
+        upd = _max_round(dist, dist[b.src] + w, b)
+        if np.array_equal(upd, dist):
+            return dist.tolist()
+        dist = upd
+    if rounds >= b.n:
+        return None
+    return FALLBACK
+
+
+def relax_alap(csr, weights, start, rounds: int):
+    """Jacobi backward longest path; list, None, or :data:`FALLBACK`."""
+    b = bundle(csr)
+    if b.n == 0:
+        return list(start) if rounds >= 1 else None
+    dist = np.asarray(start, dtype=np.int64)
+    w = np.asarray(weights, dtype=np.int64)
+    for _ in range(min(rounds, b.n)):
+        upd = _min_round(dist, dist[b.dst] - w, b)
+        if np.array_equal(upd, dist):
+            return dist.tolist()
+        dist = upd
+    if rounds >= b.n:
+        return None
+    return FALLBACK
+
+
+def has_positive_cycle(csr, ii: int) -> bool:
+    """Exact positive-cycle test at one candidate II (fact 2 above)."""
+    b = bundle(csr)
+    if b.n == 0:
+        return False
+    w = b.weights_at(ii)
+    dist = np.zeros(b.n, dtype=np.int64)
+    for _ in range(b.n):
+        upd = _max_round(dist, dist[b.src] + w, b)
+        if np.array_equal(upd, dist):
+            return False
+        dist = upd
+    return True
+
+
+def has_positive_cycle_batch(csr, iis) -> list[bool]:
+    """Positive-cycle tests for a vector of candidate IIs in one call.
+
+    Each row runs the same Jacobi iteration as
+    :func:`has_positive_cycle`; rows drop out as they converge.
+    """
+    b = bundle(csr)
+    k = len(iis)
+    if b.n == 0 or k == 0:
+        return [False] * k
+    weights = b.latency[None, :] - np.asarray(iis, dtype=np.int64)[:, None] * (
+        b.distance[None, :]
+    )
+    dist = np.zeros((k, b.n), dtype=np.int64)
+    alive = np.arange(k)
+    out = [True] * k
+    for _ in range(b.n):
+        upd = _max_round(dist, dist[:, b.src] + weights, b)
+        converged = (upd == dist).all(axis=1)
+        for row in alive[converged]:
+            out[int(row)] = False
+        if converged.all():
+            return out
+        keep = ~converged
+        dist = upd[keep]
+        weights = weights[keep]
+        alive = alive[keep]
+    return out
+
+
+def penalized_length(csr, cluster, bus_latency: int, ii: int, rounds: int):
+    """Bus-penalized critical path; int or :data:`FALLBACK`.
+
+    Any non-convergence — a caller-capped budget *or* a positive cycle
+    under bus-augmented weights — must reproduce the sequential
+    kernel's partial result, so both defer to the Python kernel.
+    """
+    b = bundle(csr)
+    if b.n == 0:
+        return 0
+    assignment = np.asarray(cluster, dtype=np.int64)
+    w = b.weights_at(ii) + bus_latency * (
+        b.register & (assignment[b.src] != assignment[b.dst])
+    )
+    dist = np.zeros(b.n, dtype=np.int64)
+    for _ in range(min(rounds, b.n)):
+        upd = _max_round(dist, dist[b.src] + w, b)
+        if np.array_equal(upd, dist):
+            return int((dist + b.node_latency).max())
+        dist = upd
+    return FALLBACK

@@ -51,6 +51,10 @@ class EvaluatorStats:
             (the expensive part of a pseudo-schedule).
         lengths_skipped: candidate scorings decided on the cheap
             lexicographic prefix alone, with no relaxation.
+        lengths_memoized: length asks answered from the cluster-keyed
+            memo (refinement revisits assignments constantly — undo
+            paths, re-scored candidates — and the critical path is a
+            pure function of the assignment and the II estimate).
         moves_applied: O(degree) state updates performed.
         moves_reverted: applied moves that were rolled back.
         moves_accepted: moves kept by refinement.
@@ -61,6 +65,7 @@ class EvaluatorStats:
     pseudo_evaluations: int = 0
     lengths_computed: int = 0
     lengths_skipped: int = 0
+    lengths_memoized: int = 0
     moves_applied: int = 0
     moves_reverted: int = 0
     moves_accepted: int = 0
@@ -70,8 +75,14 @@ class EvaluatorStats:
     @property
     def lazy_skip_rate(self) -> float:
         """Fraction of candidate scorings that avoided the relaxation."""
-        total = self.lengths_computed + self.lengths_skipped
+        total = self.lengths_computed + self.lengths_memoized + self.lengths_skipped
         return self.lengths_skipped / total if total else 0.0
+
+    @property
+    def length_memo_hit_rate(self) -> float:
+        """Fraction of length asks answered without a relaxation."""
+        total = self.lengths_computed + self.lengths_memoized
+        return self.lengths_memoized / total if total else 0.0
 
     def as_counters(self) -> dict[str, float]:
         """Flat dict for :class:`CompileDiagnostics` counters."""
@@ -79,6 +90,7 @@ class EvaluatorStats:
             "pseudo_evaluations": self.pseudo_evaluations,
             "lengths_computed": self.lengths_computed,
             "lengths_skipped": self.lengths_skipped,
+            "lengths_memoized": self.lengths_memoized,
             "moves_applied": self.moves_applied,
             "moves_reverted": self.moves_reverted,
             "moves_accepted": self.moves_accepted,
@@ -161,6 +173,12 @@ class MoveEvaluator:
             for position, count in enumerate(self._foreign_adj)
             if count
         }
+        # (ii_estimate, assignment) -> penalized length. Refinement
+        # revisits assignments constantly (candidate scans re-score the
+        # state they started from, undos return to scored states), and
+        # the length is a pure function of the key, so the memo answer
+        # is bit-identical to re-running the kernel.
+        self._length_memo: dict[tuple, int] = {}
 
     # ------------------------------------------------------------------
     # Candidate enumeration (the maintained boundary)
@@ -280,7 +298,9 @@ class MoveEvaluator:
         for cluster_loads, cluster_units in zip(self._load, self._units):
             for count, units in zip(cluster_loads, cluster_units):
                 if count:
-                    ii = max(ii, -(-count // units))
+                    bound = -(-count // units)
+                    if bound > ii:
+                        ii = bound
         return ii
 
     def _register_floor_broken(self) -> bool:
@@ -323,13 +343,21 @@ class MoveEvaluator:
         when the cheap prefix ties (:func:`repro.partition.refine.refine`
         does, and the skip rate lands in :class:`EvaluatorStats`).
         """
-        self._stats.lengths_computed += 1
         if self._csr.n_nodes == 0:
+            self._stats.lengths_computed += 1
             return 0
         ii_estimate = self.prefix()[1]
-        return penalized_length(
+        key = (ii_estimate, tuple(self._cluster))
+        cached = self._length_memo.get(key)
+        if cached is not None:
+            self._stats.lengths_memoized += 1
+            return cached
+        self._stats.lengths_computed += 1
+        value = penalized_length(
             self._csr, self._cluster, self._bus_latency, ii_estimate, self._rounds
         )
+        self._length_memo[key] = value
+        return value
 
     def pseudo(self) -> PseudoSchedule:
         """The full pseudo-schedule of the current state.

@@ -35,11 +35,13 @@ from collections.abc import Callable
 from typing import Protocol, runtime_checkable
 
 from repro.core.cloning import clone_values
+from repro.core.incremental import ReplicatorStats
 from repro.core.length import replicate_for_length
 from repro.core.macro import macro_replicate
 from repro.core.plan import EMPTY_PLAN, ReplicationPlan
 from repro.core.replicator import replicate
 from repro.ddg.analysis import analysis_memo_stats, mii
+from repro.ddg.csr import kernel_dispatch_stats, numpy_allowed
 from repro.ddg.graph import Ddg
 from repro.machine.config import MachineConfig
 from repro.obs.metrics import MetricsRegistry
@@ -54,6 +56,7 @@ from repro.pipeline.driver import (
     UnschedulableError,
 )
 from repro.schedule.kernel import Kernel
+from repro.schedule.order import schedule_memo_stats
 from repro.schedule.placed import PlacedGraph, build_placed_graph
 from repro.schedule.scheduler import FailureCause, ScheduleFailure, schedule
 
@@ -175,9 +178,13 @@ class PartitionPass:
         for name, value in ctx.partitioner.stats.as_counters().items():
             metrics.gauge(name).set(value)
         metrics.gauge("lazy_skip_rate").set(ctx.partitioner.stats.lazy_skip_rate)
+        metrics.gauge("length_memo_hit_rate").set(
+            ctx.partitioner.stats.length_memo_hit_rate
+        )
         memo = analysis_memo_stats(ctx.ddg)
         metrics.gauge("analysis_memo_hits").set(memo.hits)
         metrics.gauge("analysis_memo_misses").set(memo.misses)
+        metrics.gauge("analysis_memo_prefills").set(memo.prefills)
         metrics.gauge("analysis_memo_hit_rate").set(memo.hit_rate)
 
 
@@ -225,13 +232,22 @@ class ReplicatePlanPass:
 
     name = "replicate"
 
+    def __init__(self) -> None:
+        # Cumulative across II attempts, like the partitioner's stats.
+        self._stats = ReplicatorStats()
+
     def run(self, ctx: CompilationContext) -> None:
         plan = replicate(
             ctx.partition,
             ctx.machine,
             ctx.ii,
             spare_comms=ctx.config.spare_comms,
+            stats=self._stats,
         )
+        metrics = ctx.pass_metrics(self)
+        for name, value in self._stats.as_counters().items():
+            metrics.gauge(name).set(value)
+        metrics.gauge("rescore_skip_rate").set(self._stats.rescore_skip_rate)
         if not plan.feasible:
             raise StageFailure(
                 FailureCause.BUS,
@@ -299,15 +315,27 @@ class SchedulePass:
 
     name = "schedule"
 
+    def __init__(self) -> None:
+        # The memo counters are process-global; gauges report this
+        # compilation's delta against the snapshot taken at stack build.
+        self._memo_base = schedule_memo_stats().snapshot()
+
     def run(self, ctx: CompilationContext) -> None:
         ctx.diagnostics.schedule_attempts += 1
         ctx.pass_metrics(self).counter("attempts").inc()
-        ctx.kernel = schedule(
-            ctx.graph,
-            ctx.machine,
-            ctx.ii,
-            copy_latency_override=ctx.config.copy_latency_override,
-        )
+        try:
+            ctx.kernel = schedule(
+                ctx.graph,
+                ctx.machine,
+                ctx.ii,
+                copy_latency_override=ctx.config.copy_latency_override,
+            )
+        finally:
+            metrics = ctx.pass_metrics(self)
+            for name, value in (
+                schedule_memo_stats().delta(self._memo_base).items()
+            ):
+                metrics.gauge(f"memo_{name}").set(value)
 
 
 # ----------------------------------------------------------------------
@@ -481,6 +509,7 @@ def run_pass_pipeline(
     )
 
     ii = loop_mii
+    dispatch_base = kernel_dispatch_stats().snapshot()
     with obs_span(
         "pipeline.compile", loop=ddg.name, scheme=name, mii=loop_mii
     ) as compile_span:
@@ -508,6 +537,12 @@ def run_pass_pipeline(
                 ii = escalation.next_ii(ii, failure)
                 continue
             compile_span.set(ii=ii, attempts=len(ctx.diagnostics.ii_trajectory))
+            kernels = ctx.metrics.scoped("kernels")
+            kernels.gauge("numpy_enabled").set(1 if numpy_allowed() else 0)
+            for key, value in (
+                kernel_dispatch_stats().delta(dispatch_base).items()
+            ):
+                kernels.gauge(key).set(value)
             ctx.diagnostics.merge_counters(ctx.metrics.snapshot())
             return CompileResult(
                 kernel=ctx.kernel,

@@ -29,6 +29,7 @@ from repro.schedule.kernel import Kernel, ScheduledOp
 from repro.schedule.mrt import ModuloReservationTable
 from repro.schedule.order import (
     OrderError,
+    graph_cache,
     instance_latencies,
     placed_analysis,
 )
@@ -60,6 +61,11 @@ def ims_schedule(
     if not instances:
         return Kernel(graph=graph, machine=machine, ii=ii, ops={})
 
+    # Flattened adjacency, memoized across the II-escalation restarts.
+    cache = graph_cache(graph)
+    in_lists = cache.in_lists
+    out_lists = cache.out_lists
+
     # Height priority: latency-weighted distance to a sink.
     height = {
         iid: analysis.length - analysis.alap[iid] for iid in instances
@@ -83,12 +89,9 @@ def ims_schedule(
 
     def earliest_start(iid: int) -> int:
         bound = analysis.asap[iid]
-        for edge in graph.in_edges(iid):
-            if edge.src in times:
-                bound = max(
-                    bound,
-                    times[edge.src] + latency[edge.src] - ii * edge.distance,
-                )
+        for src, distance in in_lists[iid]:
+            if src in times:
+                bound = max(bound, times[src] + latency[src] - ii * distance)
         return bound
 
     def try_place(iid: int, cycle: int) -> bool:
@@ -113,11 +116,11 @@ def ims_schedule(
         not just forced ones (recurrences put successors in the
         schedule before their producers).
         """
-        for edge in graph.out_edges(iid):
-            if edge.dst in times:
-                ready = cycle + latency[iid] - ii * edge.distance
-                if times[edge.dst] < ready:
-                    release(edge.dst)
+        for dst, distance in out_lists[iid]:
+            if dst in times:
+                ready = cycle + latency[iid] - ii * distance
+                if times[dst] < ready:
+                    release(dst)
 
     def evict_conflicts(iid: int, cycle: int) -> None:
         inst = instances[iid]

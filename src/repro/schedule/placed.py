@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+import functools
 from collections.abc import Iterator
 
 from repro.core.plan import ReplicationPlan
@@ -69,7 +70,7 @@ class Instance:
         """True for bus communication instances."""
         return self.role is Role.COPY
 
-    @property
+    @functools.cached_property
     def fu_kind(self) -> FuKind:
         """Functional-unit kind (raises KeyError for COPY instances)."""
         return fu_kind_of(self.op_class)

@@ -24,6 +24,7 @@ from repro.schedule.mrt import ModuloReservationTable
 from repro.schedule.order import (
     OrderError,
     compute_order,
+    graph_cache,
     instance_latencies,
     placed_analysis,
 )
@@ -62,7 +63,8 @@ class ScheduleFailure(Exception):
 
 
 def _dependence_window(
-    graph: PlacedGraph,
+    in_list: list[tuple[int, int]],
+    out_list: list[tuple[int, int]],
     latency: dict[int, int],
     inst: Instance,
     times: dict[int, int],
@@ -77,16 +79,19 @@ def _dependence_window(
     inside a recurrence — the window is bounded on both sides and
     infeasibility means the recurrence does not fit this II. At most II
     cycles are scanned: beyond that the modulo slots repeat.
+
+    ``in_list``/``out_list`` are the instance's (neighbour, distance)
+    pairs from the :func:`~repro.schedule.order.graph_cache` memo.
     """
     earliest: int | None = None
     latest: int | None = None
-    for edge in graph.in_edges(inst.iid):
-        if edge.src in times:
-            bound = times[edge.src] + latency[edge.src] - ii * edge.distance
+    for src, distance in in_list:
+        if src in times:
+            bound = times[src] + latency[src] - ii * distance
             earliest = bound if earliest is None else max(earliest, bound)
-    for edge in graph.out_edges(inst.iid):
-        if edge.dst in times:
-            bound = times[edge.dst] - latency[inst.iid] + ii * edge.distance
+    for dst, distance in out_list:
+        if dst in times:
+            bound = times[dst] - latency[inst.iid] + ii * distance
             latest = bound if latest is None else min(latest, bound)
 
     if earliest is not None and latest is not None:
@@ -126,6 +131,9 @@ def schedule(
 
         latency = instance_latencies(graph, machine, copy_latency_override)
         order = compute_order(graph, machine, ii, analysis)
+    cache = graph_cache(graph)
+    in_lists = cache.in_lists
+    out_lists = cache.out_lists
     mrt = ModuloReservationTable(machine, ii)
     times: dict[int, int] = {}
     buses: dict[int, int] = {}
@@ -135,7 +143,13 @@ def schedule(
     with obs_span("schedule.place", ii=ii, instances=len(order)):
         for inst in order:
             window, both_sided = _dependence_window(
-                graph, latency, inst, times, ii, analysis.asap[inst.iid]
+                in_lists[inst.iid],
+                out_lists[inst.iid],
+                latency,
+                inst,
+                times,
+                ii,
+                analysis.asap[inst.iid],
             )
             placed = False
             for cycle in window:

@@ -108,7 +108,7 @@ class TestRemovable:
         g = b.build()
         state = state_for(g, {"p": 0, "c": 1, "sink": 0}, m2)
         # Manually replicate c back into cluster 0.
-        state.replicas[g.node_by_name("c").uid] = {0}
+        state.add_replicas(g.node_by_name("c").uid, {0})
         sub = find_replication_subgraph(state, g.node_by_name("p").uid)
         removable = find_removable_instructions(state, sub)
         assert g.node_by_name("p").uid not in removable

@@ -48,13 +48,12 @@ class TestPresence:
 
     def test_replicas_add_presence(self, state):
         p = uid(state, "p")
-        state.replicas[p] = {1, 2}
+        state.add_replicas(p, {1, 2})
         assert state.present_clusters(p) == {0, 1, 2}
 
     def test_removal_drops_home(self, state):
         p = uid(state, "p")
-        state.replicas[p] = {1}
-        state.removed.add(p)
+        state.apply(p, {p: {1}}, removable=[p])
         assert state.present_clusters(p) == {1}
 
 
@@ -67,19 +66,19 @@ class TestCommQueries:
 
     def test_replication_shrinks_destinations(self, state):
         p = uid(state, "p")
-        state.replicas[p] = {1}
+        state.add_replicas(p, {1})
         assert state.comm_destinations(p) == {2}
 
     def test_removed_comm_is_gone(self, state):
         p = uid(state, "p")
-        state.removed_comms.add(p)
+        state.apply(p, {}, removable=[])
         assert state.comm_destinations(p) == set()
         assert not state.has_comm(p)
 
     def test_replica_consumers_extend_destinations(self, state):
         """A replica of a consumer pulls its parents' comms along."""
         far_a = uid(state, "far_a")
-        state.replicas[far_a] = {3}
+        state.add_replicas(far_a, {3})
         assert 3 in state.comm_destinations(uid(state, "p"))
 
     def test_extra_coms_formula(self, state, m4):
@@ -97,12 +96,12 @@ class TestUsage:
 
     def test_replicas_counted(self, state):
         p = uid(state, "p")
-        state.replicas[p] = {1}
+        state.add_replicas(p, {1})
         assert state.usage(FuKind.INT, 1) == 2  # q and the replica
 
     def test_removals_uncounted(self, state):
         local = uid(state, "local")
-        state.removed.add(local)
+        state.apply(local, {}, removable=[local])
         assert state.usage(FuKind.FP, 0) == 0
 
     def test_usage_table_matches_pointwise(self, state):

@@ -74,7 +74,7 @@ class TestNodeWeight:
     def test_usage_reflects_prior_replicas(self, single_comm):
         g, state = single_comm
         p = g.node_by_name("p").uid
-        state.replicas[g.node_by_name("keep").uid] = {1}
+        state.add_replicas(g.node_by_name("keep").uid, {1})
         # 'keep' is FP so INT usage in cluster 1 is still 0 ...
         sub = find_replication_subgraph(state, p)
         w = node_weight(state, p, 1, sub.extra_ops(state), sharing_table([sub]))

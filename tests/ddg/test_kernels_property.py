@@ -1,0 +1,116 @@
+"""Property test: NumPy CSR kernels are byte-equal to the pure loops.
+
+Random graphs (dense, cyclic, degenerate) are pushed through all four
+relaxation kernels plus the batched positive-cycle test under both
+``REPRO_KERNELS`` backends and must agree exactly — including the
+non-converged cases, where the NumPy backend is required to defer to
+the Python loop (via its FALLBACK sentinel) because partial Jacobi and
+partial Gauss-Seidel fixpoints differ. Skipped when NumPy or Hypothesis
+is unavailable (the CI matrix runs one leg without the ``perf`` extra).
+"""
+
+import pytest
+
+np = pytest.importorskip("numpy")
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import HealthCheck, given, settings, strategies as st  # noqa: E402
+
+from repro.ddg import csr as csr_mod  # noqa: E402
+from repro.ddg.csr import (  # noqa: E402
+    csr_view,
+    edge_weights_at,
+    has_positive_cycle,
+    has_positive_cycle_batch,
+    penalized_length,
+    relax_alap,
+    relax_asap,
+)
+from repro.ddg.graph import Ddg, EdgeKind  # noqa: E402
+from repro.machine.resources import OpClass  # noqa: E402
+
+REGISTER_OPS = (OpClass.INT_ARITH, OpClass.FP_ARITH, OpClass.FP_MUL, OpClass.LOAD)
+
+
+@st.composite
+def kernel_cases(draw):
+    """A random loop body plus kernel arguments."""
+    n = draw(st.integers(min_value=1, max_value=12))
+    ddg = Ddg("prop")
+    nodes = [
+        ddg.add_node(f"n{i}", draw(st.sampled_from(REGISTER_OPS)))
+        for i in range(n)
+    ]
+    for dst in range(1, n):
+        for src in draw(
+            st.lists(st.integers(0, dst - 1), max_size=3, unique=True)
+        ):
+            kind = draw(st.sampled_from((EdgeKind.REGISTER, EdgeKind.MEMORY)))
+            ddg.add_edge(nodes[src], nodes[dst], distance=0, kind=kind)
+    for _ in range(draw(st.integers(0, 3))):
+        src = draw(st.integers(0, n - 1))
+        dst = draw(st.integers(0, n - 1))
+        ddg.add_edge(nodes[src], nodes[dst], distance=draw(st.integers(1, 2)))
+
+    csr = csr_view(ddg)
+    ii = draw(st.integers(1, 6))
+    rounds = draw(
+        st.sampled_from((0, 1, 2, max(1, n // 2), n, n + 1, 2 * n + 2))
+    )
+    cluster = [draw(st.integers(0, 3)) for _ in range(n)]
+    bus_latency = draw(st.integers(0, 4))
+    start = [draw(st.integers(0, 24))] * n
+    iis = draw(st.lists(st.integers(1, 8), min_size=1, max_size=6))
+    return csr, ii, rounds, cluster, bus_latency, start, iis
+
+
+def run_all(csr, ii, rounds, cluster, bus_latency, start, iis):
+    weights = edge_weights_at(csr, ii)
+    return (
+        relax_asap(csr, weights, rounds),
+        relax_alap(csr, weights, start, rounds),
+        has_positive_cycle(csr, ii),
+        has_positive_cycle_batch(csr, iis),
+        penalized_length(csr, cluster, bus_latency, ii, rounds),
+    )
+
+
+@pytest.fixture
+def backend_switch(monkeypatch):
+    """Force a backend for the duration of one call."""
+
+    def force(mode):
+        monkeypatch.setenv(csr_mod.KERNELS_ENV, mode)
+        csr_mod.reset_kernel_backend()
+
+    yield force
+    monkeypatch.delenv(csr_mod.KERNELS_ENV, raising=False)
+    csr_mod.reset_kernel_backend()
+
+
+@settings(
+    max_examples=200,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(case=kernel_cases())
+def test_numpy_backend_is_byte_equal(backend_switch, case):
+    backend_switch("python")
+    reference = run_all(*case)
+    backend_switch("numpy")
+    vectorized = run_all(*case)
+    assert vectorized == reference
+
+
+@settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(case=kernel_cases())
+def test_auto_backend_matches_python(backend_switch, case):
+    """``auto`` must agree whichever backend it picks for this size."""
+    backend_switch("python")
+    reference = run_all(*case)
+    backend_switch("auto")
+    assert run_all(*case) == reference

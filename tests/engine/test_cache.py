@@ -71,16 +71,20 @@ class TestCorruptionTolerance:
         path.write_bytes(pickle.dumps({"schema": -1, "result": result}))
         assert store.get(key) is None
 
-    def test_previous_schema_version_is_a_clean_miss(self, store, compiled):
-        """Entries written before the diagnostics payload (schema 1)
-        must read as misses and be evicted, never deserialised as-if
-        current."""
+    @pytest.mark.parametrize(
+        "stale_schema", range(1, cache_mod.ENGINE_SCHEMA_VERSION)
+    )
+    def test_previous_schema_version_is_a_clean_miss(
+        self, store, compiled, stale_schema
+    ):
+        """Entries written under ANY earlier schema — v1 (pre-
+        diagnostics) through v4 (pre kernel-backend/replicator/schedule
+        counters) — must read as misses and be evicted, never
+        deserialised as-if current."""
         key, result = compiled
         path = store.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        stale = pickle.dumps(
-            {"schema": cache_mod.ENGINE_SCHEMA_VERSION - 1, "result": result}
-        )
+        stale = pickle.dumps({"schema": stale_schema, "result": result})
         path.write_bytes(stale)
         assert store.get(key) is None
         assert not path.exists()

@@ -146,6 +146,8 @@ class TestBench:
         for stage in stages.values():
             assert stage["seconds"] >= 0.0
             assert 0.0 <= stage["share"] <= 1.0
+            assert stage["samples"] == 2
+            assert 0.0 <= stage["p50_seconds"] <= stage["p95_seconds"]
         assert payload["failures"] == []
 
     def test_events_file_is_jsonl(self, tmp_path, capsys):

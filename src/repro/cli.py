@@ -89,6 +89,46 @@ def _scheme(args: argparse.Namespace) -> Scheme:
     return Scheme.BASELINE if args.no_replication else Scheme.REPLICATION
 
 
+def _scheme_label(scheme: "Scheme | str") -> str:
+    """Display / wire name of a built-in or registered scheme."""
+    return scheme.value if isinstance(scheme, Scheme) else scheme
+
+
+def _resolve_schemes(args: argparse.Namespace) -> "list[Scheme | str]":
+    """Resolve the bench scheme filter to compile-job scheme tokens.
+
+    ``--schemes`` accepts comma-separated names and is repeatable; it
+    resolves CLI aliases (``macro``, ``cloning``) *and* any key in the
+    scheme registry (``repl-part``, test-registered variants), so new
+    schemes are benchable without touching this file. The legacy
+    ``--scheme`` flag appends its aliases. Unknown names raise
+    ``SystemExit(2)`` listing what is available.
+    """
+    from repro.pipeline import scheme_names
+
+    names: list[str] = []
+    for chunk in getattr(args, "schemes", None) or []:
+        names.extend(name.strip() for name in chunk.split(",") if name.strip())
+    names.extend(getattr(args, "scheme", None) or [])
+    if not names:
+        names = ["baseline", "replication"]
+    registered = scheme_names()
+    resolved: list[Scheme | str] = []
+    for name in names:
+        if name in _SCHEME_NAMES:
+            resolved.append(_SCHEME_NAMES[name])
+        elif name in registered:
+            resolved.append(name)
+        else:
+            known = sorted(set(_SCHEME_NAMES) | set(registered))
+            print(
+                f"error: unknown scheme {name!r}; known: {', '.join(known)}",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+    return resolved
+
+
 def cmd_compile(args: argparse.Namespace) -> int:
     machine = _machine(args.machine)
     ddg = _loop(args)
@@ -295,7 +335,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     benchmarks = args.benchmark or list(BENCHMARK_ORDER)
     machines = args.machine or ["4c1b2l64r"]
-    schemes = [_SCHEME_NAMES[name] for name in (args.scheme or ["baseline", "replication"])]
+    schemes = _resolve_schemes(args)
     limit = args.limit if args.limit is not None else configured_limit()
 
     cells = []  # (benchmark, machine name, scheme, loops, job slice start)
@@ -347,7 +387,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             [
                 bench,
                 machine_name,
-                scheme.value,
+                _scheme_label(scheme),
                 len(loops),
                 len(ok),
                 len(failed),
@@ -720,6 +760,16 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(_SCHEME_NAMES),
         default=None,
         help="compiler variant; repeatable (default: baseline + replication)",
+    )
+    p.add_argument(
+        "--schemes",
+        action="append",
+        default=None,
+        metavar="NAMES",
+        help=(
+            "comma-separated scheme filter; accepts CLI aliases and any "
+            "registered scheme key (e.g. repl-part); repeatable"
+        ),
     )
     p.add_argument(
         "--limit",

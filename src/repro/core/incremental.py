@@ -26,16 +26,15 @@ way ``tests/partition/test_incremental.py`` pins ``MoveEvaluator``).
 from __future__ import annotations
 
 import dataclasses
-from fractions import Fraction
 
 from repro.core.removable import find_removable_instructions_traced
+from repro.core.scoring import Candidate, candidate_sort_key, score_subgraph
 from repro.core.state import ReplicationState, StateDelta
 from repro.core.subgraph import (
     ReplicationSubgraph,
     find_replication_subgraph_traced,
-    fits_resources,
 )
-from repro.core.weights import sharing_table, subgraph_weight
+from repro.core.weights import sharing_table
 
 
 @dataclasses.dataclass
@@ -158,37 +157,22 @@ class CandidateScorer:
             self._stats.removable_reused += 1
         return entry.removable
 
-    def candidates(self) -> list:
+    def candidates(self) -> list[Candidate]:
         """Scored feasible candidates, identical to the reference."""
-        # Imported here: replicator imports this module for the stats
-        # type, and Candidate lives next to the reference scorer.
-        from repro.core.replicator import Candidate
-
         state = self._state
         self._stats.rounds += 1
         entries = [self._entry(comm) for comm in state.active_comms()]
         sharing = sharing_table([entry.subgraph for entry in entries])
         candidates = []
         for entry in entries:
-            subgraph = entry.subgraph
             self._stats.candidates_scored += 1
-            if not subgraph.needed:
-                candidates.append(
-                    Candidate(
-                        subgraph=subgraph,
-                        removable=self._removable(entry),
-                        weight=Fraction(0),
-                    )
-                )
-                continue
-            if not fits_resources(subgraph, state):
-                continue
-            removable = self._removable(entry)
-            weight = subgraph_weight(state, subgraph, removable, sharing)
-            candidates.append(
-                Candidate(subgraph=subgraph, removable=removable, weight=weight)
+            scored = score_subgraph(
+                state,
+                entry.subgraph,
+                lambda cached=entry: self._removable(cached),
+                sharing,
             )
-        candidates.sort(
-            key=lambda c: (c.weight, c.subgraph.n_new_instances, c.subgraph.comm)
-        )
+            if scored is not None:
+                candidates.append(scored)
+        candidates.sort(key=candidate_sort_key)
         return candidates

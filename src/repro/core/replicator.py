@@ -22,36 +22,25 @@ the over-replication ablation.
 
 from __future__ import annotations
 
-import dataclasses
-from fractions import Fraction
-
 from repro.core.incremental import CandidateScorer, ReplicatorStats
 from repro.core.plan import ReplicationPlan
 from repro.core.removable import find_removable_instructions
+from repro.core.scoring import Candidate, candidate_sort_key, score_subgraph
 from repro.core.state import ReplicationState
-from repro.core.subgraph import (
-    ReplicationSubgraph,
-    find_replication_subgraph,
-    fits_resources,
-)
-from repro.core.weights import sharing_table, subgraph_weight
+from repro.core.subgraph import find_replication_subgraph
+from repro.core.weights import sharing_table
 from repro.machine.config import MachineConfig
 from repro.partition.partition import Partition
 
-
-@dataclasses.dataclass(frozen=True)
-class Candidate:
-    """A scored replication option for one communication."""
-
-    subgraph: ReplicationSubgraph
-    removable: list[int]
-    weight: Fraction
+__all__ = ["Candidate", "replicate", "score_candidates"]
 
 
 def score_candidates(state: ReplicationState) -> list[Candidate]:
     """Score every active communication against the current state.
 
-    Returns feasible candidates sorted by ascending weight (ties by
+    The from-scratch reference for :class:`CandidateScorer`: both walk
+    everything through :func:`repro.core.scoring.score_subgraph` and
+    return feasible candidates sorted by ascending weight (ties by
     fewer new instances, then producer uid, for determinism).
     """
     subgraphs = [
@@ -60,24 +49,15 @@ def score_candidates(state: ReplicationState) -> list[Candidate]:
     sharing = sharing_table(subgraphs)
     candidates = []
     for subgraph in subgraphs:
-        if not subgraph.needed:
-            # Degenerate: every destination already holds every member;
-            # the communication disappears for free.
-            removable: list[int] = find_removable_instructions(state, subgraph)
-            candidates.append(
-                Candidate(subgraph=subgraph, removable=removable, weight=Fraction(0))
-            )
-            continue
-        if not fits_resources(subgraph, state):
-            continue
-        removable = find_removable_instructions(state, subgraph)
-        weight = subgraph_weight(state, subgraph, removable, sharing)
-        candidates.append(
-            Candidate(subgraph=subgraph, removable=removable, weight=weight)
+        scored = score_subgraph(
+            state,
+            subgraph,
+            lambda sg=subgraph: find_removable_instructions(state, sg),
+            sharing,
         )
-    candidates.sort(
-        key=lambda c: (c.weight, c.subgraph.n_new_instances, c.subgraph.comm)
-    )
+        if scored is not None:
+            candidates.append(scored)
+    candidates.sort(key=candidate_sort_key)
     return candidates
 
 
@@ -88,6 +68,7 @@ def replicate(
     spare_comms: int = 0,
     max_rounds: int | None = None,
     stats: ReplicatorStats | None = None,
+    initial: ReplicationPlan | None = None,
 ) -> ReplicationPlan:
     """Run the replication algorithm; see the module docstring.
 
@@ -101,17 +82,28 @@ def replicate(
             initial communication count).
         stats: optional :class:`ReplicatorStats` accumulating walk/reuse
             counters across calls (the pipeline passes one per pass).
+        initial: replicas already granted upstream (the replication-aware
+            partitioner's in-refinement grants). They are folded into the
+            starting state as a fait accompli — already present, already
+            consuming resources — so this pass only *tops up*: it removes
+            whatever communications remain, never re-deciding or revoking
+            the earlier grants. ``None`` (every pre-existing scheme)
+            starts from the bare partition, bit-identically to before
+            this parameter existed.
 
     Returns:
         A plan; ``plan.feasible`` is False when the bus would still be
         overloaded, in which case the caller raises the II and retries.
     """
-    state = ReplicationState(partition, machine, ii)
-    initial = state.nof_coms()
-    if initial == 0 or not machine.is_clustered:
-        return state.to_plan(initial_coms=initial, feasible=True)
+    if initial is None:
+        state = ReplicationState(partition, machine, ii)
+    else:
+        state = ReplicationState.from_plan(partition, machine, ii, initial)
+    initial_coms = state.nof_coms()
+    if initial_coms == 0 or not machine.is_clustered:
+        return state.to_plan(initial_coms=initial_coms, feasible=True)
 
-    rounds = max_rounds if max_rounds is not None else initial + spare_comms
+    rounds = max_rounds if max_rounds is not None else initial_coms + spare_comms
     spare = spare_comms
     removed = 0
     scorer = CandidateScorer(state, stats if stats is not None else ReplicatorStats())
@@ -127,7 +119,7 @@ def replicate(
             break
         candidates = scorer.candidates()
         if not candidates:
-            return state.to_plan(initial_coms=initial, feasible=extra == 0)
+            return state.to_plan(initial_coms=initial_coms, feasible=extra == 0)
         best = candidates[0]
         delta = state.apply(
             best.subgraph.comm, dict(best.subgraph.needed), best.removable
@@ -137,4 +129,4 @@ def replicate(
         if spare_round:
             spare -= 1
 
-    return state.to_plan(initial_coms=initial, feasible=state.extra_coms() == 0)
+    return state.to_plan(initial_coms=initial_coms, feasible=state.extra_coms() == 0)

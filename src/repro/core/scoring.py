@@ -1,0 +1,67 @@
+"""Shared candidate scoring for the replication heuristic.
+
+Historically the from-scratch reference scorer
+(:func:`repro.core.replicator.score_candidates`) and the
+delta-maintained :class:`repro.core.incremental.CandidateScorer` each
+carried a private copy of the scoring rule — degenerate subgraphs win
+for free, infeasible ones drop out, the rest are weighted — and of the
+deterministic candidate order. Two copies of a tie-break rule is how the
+two scorers drift apart, so both now call :func:`score_subgraph` and
+sort with :func:`candidate_sort_key`; the only thing each scorer keeps
+to itself is *how* it obtains the subgraph and removable walks (from
+scratch vs. cached against a :class:`~repro.core.state.StateDelta`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from fractions import Fraction
+from typing import Callable
+
+from repro.core.state import ReplicationState
+from repro.core.subgraph import ReplicationSubgraph, fits_resources
+from repro.core.weights import subgraph_weight
+
+
+@dataclasses.dataclass(frozen=True)
+class Candidate:
+    """A scored replication option for one communication."""
+
+    subgraph: ReplicationSubgraph
+    removable: list[int]
+    weight: Fraction
+
+
+def score_subgraph(
+    state: ReplicationState,
+    subgraph: ReplicationSubgraph,
+    removable_of: Callable[[], list[int]],
+    sharing: dict[int, int],
+) -> Candidate | None:
+    """Score one replication subgraph; ``None`` when infeasible.
+
+    ``removable_of`` is called lazily — only degenerate or feasible
+    subgraphs pay for the removable walk, which lets the incremental
+    scorer skip cached-walk bookkeeping for candidates that resource
+    limits rule out anyway.
+    """
+    if not subgraph.needed:
+        # Degenerate: every destination already holds every member;
+        # the communication disappears for free.
+        return Candidate(
+            subgraph=subgraph, removable=removable_of(), weight=Fraction(0)
+        )
+    if not fits_resources(subgraph, state):
+        return None
+    removable = removable_of()
+    weight = subgraph_weight(state, subgraph, removable, sharing)
+    return Candidate(subgraph=subgraph, removable=removable, weight=weight)
+
+
+def candidate_sort_key(candidate: Candidate) -> tuple:
+    """Deterministic candidate order: weight, new instances, producer."""
+    return (
+        candidate.weight,
+        candidate.subgraph.n_new_instances,
+        candidate.subgraph.comm,
+    )

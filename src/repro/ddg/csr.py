@@ -519,8 +519,13 @@ def _penalized_length_py(
             if cluster[src] != cluster[dst]:
                 weights[edge] += bus_latency
     else:
-        weights = base  # shared cache entry; the loop below never mutates it
-    start = [0] * n
+        weights = base  # shared cache entry; the relax loop never mutates it
+    return _relax_length_py(csr, weights, rounds)
+
+
+def _relax_length_py(csr: CsrView, weights: list[int], rounds: int) -> int:
+    """Sequential longest path over caller-built weights, as a length."""
+    start = [0] * csr.n_nodes
     srcs, dsts = csr.edge_src, csr.edge_dst
     for _ in range(rounds):
         changed = False
@@ -532,3 +537,153 @@ def _penalized_length_py(
         if not changed:
             break
     return max(map(operator.add, start, csr.latency))
+
+
+def replicated_edge_weights(
+    csr: CsrView,
+    cluster: list[int],
+    extra: "tuple[frozenset[int], ...] | list[set[int]]",
+    bus_latency: int,
+    ii: int,
+) -> list[int]:
+    """Per-edge weights where a replicated producer forgives the bus.
+
+    A register edge (u, v) pays the bus penalty only when the consumer's
+    home cluster holds no instance of the producer — neither u's home
+    nor any cluster in ``extra[u]``. With every ``extra`` set empty this
+    is exactly the :func:`penalized_length` weight rule.
+    """
+    base = edge_weights_at(csr, ii)
+    if not bus_latency:
+        return base  # shared cache entry; callers must not mutate it
+    weights = base.copy()
+    for edge, src, dst in _register_edge_triples(csr):
+        dst_cluster = cluster[dst]
+        if dst_cluster != cluster[src] and dst_cluster not in extra[src]:
+            weights[edge] += bus_latency
+    return weights
+
+
+def penalized_length_replicated(
+    csr: CsrView,
+    cluster: list[int],
+    extra: "tuple[frozenset[int], ...] | list[set[int]]",
+    bus_latency: int,
+    ii: int,
+    rounds: int,
+) -> int:
+    """Replica-aware bus-penalized critical path.
+
+    Like :func:`penalized_length`, but a cross-cluster register edge is
+    free when the producer has an instance (original or replica) in the
+    consumer's home cluster. Determinism mirrors the plain kernel: the
+    relaxation visits edges in ``ddg.edges()`` order, and the NumPy
+    backend defers non-converged partials to the sequential loop.
+    """
+    if csr.n_nodes == 0:
+        return 0
+    weights = replicated_edge_weights(csr, cluster, extra, bus_latency, ii)
+    if numpy_active(csr):
+        from repro.ddg import kernels_numpy
+
+        result = kernels_numpy.relax_length(csr, weights, rounds)
+        if result is not kernels_numpy.FALLBACK:
+            _DISPATCH_STATS.numpy_calls += 1
+            return result
+        _DISPATCH_STATS.numpy_fallbacks += 1
+    _DISPATCH_STATS.python_calls += 1
+    return _relax_length_py(csr, weights, rounds)
+
+
+# ----------------------------------------------------------------------
+# Replica-aware views
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class ReplicaView:
+    """Replica-aware overlay on a :class:`CsrView`.
+
+    A replica of a node *aliases its original's edges until placement
+    materializes it*: the overlay never clones nodes into the
+    :class:`~repro.ddg.graph.Ddg` (so ``Ddg.version`` stays put and
+    every per-version kernel memo survives), and instead answers the
+    partition-level questions — per-cluster loads, communications, the
+    penalized critical path — as if an extra instance of each node
+    existed in every cluster of its ``extra`` set.
+
+    ``extra`` is indexed by node *position* and never contains a node's
+    home cluster (homes live in the assignment the caller passes per
+    query, because refinement mutates it constantly).
+    """
+
+    base: CsrView
+    extra: tuple[frozenset[int], ...]
+
+    @classmethod
+    def from_replicas(
+        cls, csr: CsrView, replicas: "dict[int, frozenset[int]]"
+    ) -> "ReplicaView":
+        """Build a view from a uid-keyed replica-cluster mapping."""
+        extra = [frozenset()] * csr.n_nodes
+        for uid, clusters in replicas.items():
+            extra[csr.index[uid]] = frozenset(clusters)
+        return cls(base=csr, extra=tuple(extra))
+
+    def load_table(self, cluster: list[int], n_clusters: int) -> list[list[int]]:
+        """Per-cluster instance counts by FU ordinal, replicas included."""
+        csr = self.base
+        table = [[0] * len(FU_KINDS) for _ in range(n_clusters)]
+        for position in range(csr.n_nodes):
+            kind = csr.fu_ord[position]
+            table[cluster[position]][kind] += 1
+            for extra_cluster in self.extra[position]:
+                table[extra_cluster][kind] += 1
+        return table
+
+    def min_resource_ii(self, cluster: list[int], units: list[list[int]]) -> int:
+        """Smallest II at which every cluster's instance load fits."""
+        ii = 1
+        for cluster_loads, cluster_units in zip(
+            self.load_table(cluster, len(units)), units
+        ):
+            for count, unit_count in zip(cluster_loads, cluster_units):
+                if count:
+                    bound = -(-count // unit_count)
+                    if bound > ii:
+                        ii = bound
+        return ii
+
+    def nof_coms(self, cluster: list[int]) -> int:
+        """Values still crossing clusters, replicas considered.
+
+        A producer communicates when some *consumer instance* sits in a
+        cluster holding no instance of the producer — exactly the rule
+        :func:`repro.schedule.placed.build_placed_graph` uses to decide
+        which values need a bus COPY.
+        """
+        csr = self.base
+        extra = self.extra
+        count = 0
+        for position in range(csr.n_nodes):
+            present = extra[position]
+            home = cluster[position]
+            for consumer in csr.reg_out_neighbours(position):
+                consumer_cluster = cluster[consumer]
+                if (
+                    consumer_cluster != home
+                    and consumer_cluster not in present
+                ) or any(
+                    c != home and c not in present for c in extra[consumer]
+                ):
+                    count += 1
+                    break
+        return count
+
+    def penalized_length(
+        self, cluster: list[int], bus_latency: int, ii: int, rounds: int
+    ) -> int:
+        """Replica-aware critical path at a candidate II."""
+        return penalized_length_replicated(
+            self.base, cluster, self.extra, bus_latency, ii, rounds
+        )

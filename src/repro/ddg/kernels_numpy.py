@@ -197,6 +197,26 @@ def has_positive_cycle_batch(csr, iis) -> list[bool]:
     return out
 
 
+def relax_length(csr, weights, rounds: int):
+    """Longest path over caller-built weights, as a length; or FALLBACK.
+
+    Backs the replica-aware penalized length, whose per-edge weights
+    depend on replica sets and are built by the caller; the same
+    non-convergence rule as :func:`penalized_length` applies.
+    """
+    b = bundle(csr)
+    if b.n == 0:
+        return 0
+    w = np.asarray(weights, dtype=np.int64)
+    dist = np.zeros(b.n, dtype=np.int64)
+    for _ in range(min(rounds, b.n)):
+        upd = _max_round(dist, dist[b.src] + w, b)
+        if np.array_equal(upd, dist):
+            return int((dist + b.node_latency).max())
+        dist = upd
+    return FALLBACK
+
+
 def penalized_length(csr, cluster, bus_latency: int, ii: int, rounds: int):
     """Bus-penalized critical path; int or :data:`FALLBACK`.
 

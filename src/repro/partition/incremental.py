@@ -24,6 +24,24 @@ via the CSR relaxation kernel (:func:`repro.ddg.csr.penalized_length`).
 Every quantity matches the from-scratch ``pseudo_schedule`` bit for
 bit (the equivalence property test drives thousands of random moves to
 hold this line), so refinement decisions are unchanged — only cheaper.
+
+Moves come in two kinds, both O(degree) to apply, undo and redo:
+
+* :class:`ReassignMove` — the classic "move node to another cluster";
+* :class:`ReplicateMove` — *clone* a node into a target cluster, the
+  replication-aware-partitioning move (Papp et al.). The replica is an
+  alias of the original (same edges; see
+  :class:`repro.ddg.csr.ReplicaView`) whose presence absorbs
+  communications: a producer only communicates when some consumer
+  instance sits in a cluster holding no instance of the producer —
+  the exact rule placement uses to create bus COPYs. Undoing a
+  replicate move is the paired de-replication.
+
+The replica tables (per-producer consumer-cluster counts, uncovered
+cluster counts, the replica-aware communication total) are built lazily
+on the first replicate move, so evaluators that never replicate — the
+four paper schemes — run the exact historical code path and generate
+bit-identical move streams.
 """
 
 from __future__ import annotations
@@ -31,7 +49,12 @@ from __future__ import annotations
 import dataclasses
 import math
 
-from repro.ddg.csr import FU_KINDS, csr_view, penalized_length
+from repro.ddg.csr import (
+    FU_KINDS,
+    csr_view,
+    penalized_length,
+    penalized_length_replicated,
+)
 from repro.machine.config import MachineConfig
 from repro.partition.partition import Partition
 from repro.partition.pseudo import PseudoSchedule
@@ -55,9 +78,17 @@ class EvaluatorStats:
             memo (refinement revisits assignments constantly — undo
             paths, re-scored candidates — and the critical path is a
             pure function of the assignment and the II estimate).
-        moves_applied: O(degree) state updates performed.
+        moves_applied: O(degree) state updates performed (both kinds).
         moves_reverted: applied moves that were rolled back.
         moves_accepted: moves kept by refinement.
+        plain_moves: reassignment moves applied (trials included).
+        replicate_moves: replicate moves applied (trials included).
+        plain_accepted: reassignment moves refinement kept.
+        plain_rejected: reassignment trials refinement rolled back.
+        replicate_accepted: replicate moves refinement kept.
+        replicate_rejected: replicate trials refinement rolled back.
+        replicas_surviving: replica instances alive in the partition the
+            last replicating refinement returned.
         refine_calls: refinement invocations observed.
         refine_seconds: wall time spent inside refinement.
     """
@@ -69,6 +100,13 @@ class EvaluatorStats:
     moves_applied: int = 0
     moves_reverted: int = 0
     moves_accepted: int = 0
+    plain_moves: int = 0
+    replicate_moves: int = 0
+    plain_accepted: int = 0
+    plain_rejected: int = 0
+    replicate_accepted: int = 0
+    replicate_rejected: int = 0
+    replicas_surviving: int = 0
     refine_calls: int = 0
     refine_seconds: float = 0.0
 
@@ -94,6 +132,13 @@ class EvaluatorStats:
             "moves_applied": self.moves_applied,
             "moves_reverted": self.moves_reverted,
             "moves_accepted": self.moves_accepted,
+            "moves.plain": self.plain_moves,
+            "moves.replicate": self.replicate_moves,
+            "moves.plain_accepted": self.plain_accepted,
+            "moves.plain_rejected": self.plain_rejected,
+            "moves.replicate_accepted": self.replicate_accepted,
+            "moves.replicate_rejected": self.replicate_rejected,
+            "moves.replicas_surviving": self.replicas_surviving,
             "refine_calls": self.refine_calls,
             "refine_seconds": self.refine_seconds,
         }
@@ -101,11 +146,29 @@ class EvaluatorStats:
 
 @dataclasses.dataclass(frozen=True)
 class Move:
-    """One applied node move, undoable via :meth:`MoveEvaluator.undo`."""
+    """One applied reassignment, undoable via :meth:`MoveEvaluator.undo`."""
 
     uid: int
     src_cluster: int
     dst_cluster: int
+
+
+#: The explicit name of the classic move kind; ``Move`` is kept as the
+#: historical alias (tests and callers predate the protocol).
+ReassignMove = Move
+
+
+@dataclasses.dataclass(frozen=True)
+class ReplicateMove:
+    """One applied replication of ``uid`` into ``cluster``.
+
+    Undoing it (:meth:`MoveEvaluator.undo`) is the paired
+    de-replication: the replica instance and every table contribution it
+    made are removed, in O(degree).
+    """
+
+    uid: int
+    cluster: int
 
 
 class MoveEvaluator:
@@ -173,12 +236,28 @@ class MoveEvaluator:
             for position, count in enumerate(self._foreign_adj)
             if count
         }
-        # (ii_estimate, assignment) -> penalized length. Refinement
-        # revisits assignments constantly (candidate scans re-score the
-        # state they started from, undos return to scored states), and
-        # the length is a pure function of the key, so the memo answer
-        # is bit-identical to re-running the kernel.
+        # (ii_estimate, assignment[, replicas]) -> penalized length.
+        # Refinement revisits assignments constantly (candidate scans
+        # re-score the state they started from, undos return to scored
+        # states), and the length is a pure function of the key, so the
+        # memo answer is bit-identical to re-running the kernel.
         self._length_memo: dict[tuple, int] = {}
+
+        # Replica tables, built lazily by the first replicate move so
+        # plain-move-only evaluators keep the exact historical path:
+        #   _extra[p]          clusters holding a replica of p (never
+        #                      the home cluster);
+        #   _consumer_count[p] cluster -> register out-edges of p whose
+        #                      consumer has an *instance* there (homes
+        #                      and replicas alike);
+        #   _uncovered[p]      consumer clusters with no instance of p
+        #                      (>0 means p's value crosses clusters);
+        #   _n_coms_replica    producers with _uncovered > 0 — the
+        #                      replica-aware communication count.
+        self._extra: list[set[int]] | None = None
+        self._consumer_count: list[dict[int, int]] = []
+        self._uncovered: list[int] = []
+        self._n_coms_replica = 0
 
     # ------------------------------------------------------------------
     # Candidate enumeration (the maintained boundary)
@@ -190,7 +269,12 @@ class MoveEvaluator:
         return [uids[position] for position in sorted(self._boundary)]
 
     def move_targets(self, uid: int) -> list[int]:
-        """Clusters holding register neighbours of ``uid``, sorted."""
+        """Clusters holding register neighbours of ``uid``, sorted.
+
+        Clusters already holding a replica of ``uid`` are excluded:
+        moving the home onto its own replica would collapse two
+        instances into one, which placement rejects.
+        """
         csr = self._csr
         cluster = self._cluster
         position = csr.index[uid]
@@ -204,6 +288,8 @@ class MoveEvaluator:
             for neighbour in csr.reg_in_neighbours(position)
         )
         clusters.discard(home)
+        if self._extra is not None:
+            clusters.difference_update(self._extra[position])
         return sorted(clusters)
 
     # ------------------------------------------------------------------
@@ -215,17 +301,48 @@ class MoveEvaluator:
         position = self._csr.index[uid]
         source = self._cluster[position]
         self._stats.moves_applied += 1
+        self._stats.plain_moves += 1
         self._shift(position, cluster)
         return Move(uid=uid, src_cluster=source, dst_cluster=cluster)
 
-    def undo(self, move: Move) -> None:
-        """Roll back the most recent :meth:`apply` of ``move``."""
-        self._stats.moves_reverted += 1
-        self._shift(self._csr.index[move.uid], move.src_cluster)
+    def apply_replicate(self, uid: int, cluster: int) -> ReplicateMove:
+        """Clone ``uid`` into ``cluster``; O(degree) state update.
 
-    def redo(self, move: Move) -> None:
+        The replica adds to the target cluster's loads, totals and
+        producer count, and its presence absorbs communications (the
+        producer — and ``uid``'s own parents — stop paying for
+        consumers in ``cluster``).
+
+        Raises:
+            ValueError: an instance of ``uid`` (home or replica)
+                already sits in ``cluster`` — placement rejects
+                duplicate instances, so the evaluator does too.
+        """
+        self._activate_replicas()
+        position = self._csr.index[uid]
+        if cluster == self._cluster[position] or cluster in self._extra[position]:
+            raise ValueError(
+                f"node {uid} already has an instance in cluster {cluster}"
+            )
+        self._stats.moves_applied += 1
+        self._stats.replicate_moves += 1
+        self._grow_replica(position, cluster)
+        return ReplicateMove(uid=uid, cluster=cluster)
+
+    def undo(self, move: Move | ReplicateMove) -> None:
+        """Roll back the most recent apply of ``move`` (LIFO order)."""
+        self._stats.moves_reverted += 1
+        if isinstance(move, ReplicateMove):
+            self._shrink_replica(self._csr.index[move.uid], move.cluster)
+        else:
+            self._shift(self._csr.index[move.uid], move.src_cluster)
+
+    def redo(self, move: Move | ReplicateMove) -> None:
         """Re-apply a move just undone (no stats churn)."""
-        self._shift(self._csr.index[move.uid], move.dst_cluster)
+        if isinstance(move, ReplicateMove):
+            self._grow_replica(self._csr.index[move.uid], move.cluster)
+        else:
+            self._shift(self._csr.index[move.uid], move.dst_cluster)
 
     def _bump_adjacency(self, position: int, delta: int) -> None:
         count = self._foreign_adj[position] + delta
@@ -249,6 +366,11 @@ class MoveEvaluator:
         source = cluster[position]
         if source == to:
             return
+        if self._extra is not None and to in self._extra[position]:
+            raise ValueError(
+                f"node {csr.uids[position]} already has a replica in "
+                f"cluster {to}; de-replicate before moving its home there"
+            )
 
         kind = csr.fu_ord[position]
         self._load[source][kind] -= 1
@@ -284,13 +406,158 @@ class MoveEvaluator:
         if own_adjacency_delta:
             self._bump_adjacency(position, own_adjacency_delta)
         cluster[position] = to
+        if self._extra is not None:
+            self._presence_moved(position, source, to)
+
+    # ------------------------------------------------------------------
+    # Replica tables (activated by the first replicate move)
+    # ------------------------------------------------------------------
+
+    @property
+    def has_replicas(self) -> bool:
+        """True when any replica instance is currently live."""
+        return self._extra is not None and any(self._extra)
+
+    def replicas(self) -> dict[int, frozenset[int]]:
+        """Live replica grants, uid -> clusters (empty sets omitted)."""
+        if self._extra is None:
+            return {}
+        uids = self._csr.uids
+        return {
+            uids[position]: frozenset(clusters)
+            for position, clusters in enumerate(self._extra)
+            if clusters
+        }
+
+    def replicate_candidates(self) -> list[int]:
+        """Uids whose value still crosses clusters, ascending.
+
+        These are the producers a replicate move can help: each has at
+        least one consumer cluster with no instance of it.
+        """
+        self._activate_replicas()
+        uids = self._csr.uids
+        return [
+            uids[position]
+            for position, count in enumerate(self._uncovered)
+            if count
+        ]
+
+    def replicate_targets(self, uid: int) -> list[int]:
+        """Consumer clusters with no instance of ``uid``, sorted."""
+        self._activate_replicas()
+        position = self._csr.index[uid]
+        home = self._cluster[position]
+        extra = self._extra[position]
+        return sorted(
+            cluster
+            for cluster, count in self._consumer_count[position].items()
+            if count > 0 and cluster != home and cluster not in extra
+        )
+
+    def _activate_replicas(self) -> None:
+        if self._extra is not None:
+            return
+        csr = self._csr
+        cluster = self._cluster
+        n = csr.n_nodes
+        self._extra = [set() for _ in range(n)]
+        self._consumer_count = []
+        self._uncovered = [0] * n
+        self._n_coms_replica = 0
+        for position in range(n):
+            counts: dict[int, int] = {}
+            for consumer in csr.reg_out_neighbours(position):
+                consumer_cluster = cluster[consumer]
+                counts[consumer_cluster] = counts.get(consumer_cluster, 0) + 1
+            self._consumer_count.append(counts)
+        for position in range(n):
+            home = cluster[position]
+            uncovered = sum(
+                1
+                for consumer_cluster, count in self._consumer_count[
+                    position
+                ].items()
+                if count and consumer_cluster != home
+            )
+            self._uncovered[position] = uncovered
+            if uncovered:
+                self._n_coms_replica += 1
+
+    def _recount_uncovered(self, position: int) -> None:
+        """Refresh one producer's uncovered-cluster count; O(clusters)."""
+        home = self._cluster[position]
+        extra = self._extra[position]
+        count = 0
+        for consumer_cluster, edges in self._consumer_count[position].items():
+            if edges and consumer_cluster != home and consumer_cluster not in extra:
+                count += 1
+        previous = self._uncovered[position]
+        self._uncovered[position] = count
+        if previous == 0 and count > 0:
+            self._n_coms_replica += 1
+        elif previous > 0 and count == 0:
+            self._n_coms_replica -= 1
+
+    def _presence_moved(self, position: int, source: int, to: int) -> None:
+        """Replica-table follow-up to a home move ``source -> to``."""
+        csr = self._csr
+        parents = csr.reg_in_neighbours(position)
+        for producer in parents:
+            counts = self._consumer_count[producer]
+            counts[source] = counts.get(source, 0) - 1
+            counts[to] = counts.get(to, 0) + 1
+        affected = {position}
+        affected.update(parents)
+        for uid_position in affected:
+            self._recount_uncovered(uid_position)
+
+    def _grow_replica(self, position: int, cluster: int) -> None:
+        csr = self._csr
+        self._extra[position].add(cluster)
+        kind = csr.fu_ord[position]
+        self._load[cluster][kind] += 1
+        self._totals[cluster] += 1
+        if not csr.is_store[position]:
+            self._producers[cluster] += 1
+        parents = csr.reg_in_neighbours(position)
+        for producer in parents:
+            counts = self._consumer_count[producer]
+            counts[cluster] = counts.get(cluster, 0) + 1
+        affected = {position}
+        affected.update(parents)
+        for uid_position in affected:
+            self._recount_uncovered(uid_position)
+
+    def _shrink_replica(self, position: int, cluster: int) -> None:
+        csr = self._csr
+        self._extra[position].discard(cluster)
+        kind = csr.fu_ord[position]
+        self._load[cluster][kind] -= 1
+        self._totals[cluster] -= 1
+        if not csr.is_store[position]:
+            self._producers[cluster] -= 1
+        parents = csr.reg_in_neighbours(position)
+        for producer in parents:
+            self._consumer_count[producer][cluster] -= 1
+        affected = {position}
+        affected.update(parents)
+        for uid_position in affected:
+            self._recount_uncovered(uid_position)
 
     # ------------------------------------------------------------------
     # Scoring (lexicographic key, expensive length computed on demand)
     # ------------------------------------------------------------------
 
     def nof_coms(self) -> int:
-        """Maintained count of values crossing clusters."""
+        """Maintained count of values crossing clusters.
+
+        With replicas live this is the replica-aware count: a producer
+        communicates only when some consumer instance sits in a cluster
+        holding no instance of the producer.
+        """
+        if self._extra is not None:
+            return self._n_coms_replica
         return self._n_coms
 
     def _min_resource_ii(self) -> int:
@@ -315,7 +582,7 @@ class MoveEvaluator:
         O(clusters · kinds); never touches the relaxation kernel.
         """
         ii_res = self._min_resource_ii()
-        coms = self._n_coms
+        coms = self.nof_coms()
         if self._bus_count:
             ii_bus = (
                 self._bus_latency * math.ceil(coms / self._bus_count)
@@ -347,23 +614,48 @@ class MoveEvaluator:
             self._stats.lengths_computed += 1
             return 0
         ii_estimate = self.prefix()[1]
-        key = (ii_estimate, tuple(self._cluster))
+        if self._extra is None:
+            key: tuple = (ii_estimate, tuple(self._cluster))
+        else:
+            key = (
+                ii_estimate,
+                tuple(self._cluster),
+                tuple(frozenset(clusters) for clusters in self._extra),
+            )
         cached = self._length_memo.get(key)
         if cached is not None:
             self._stats.lengths_memoized += 1
             return cached
         self._stats.lengths_computed += 1
-        value = penalized_length(
-            self._csr, self._cluster, self._bus_latency, ii_estimate, self._rounds
-        )
+        if self._extra is None:
+            value = penalized_length(
+                self._csr,
+                self._cluster,
+                self._bus_latency,
+                ii_estimate,
+                self._rounds,
+            )
+        else:
+            value = penalized_length_replicated(
+                self._csr,
+                self._cluster,
+                self._extra,
+                self._bus_latency,
+                ii_estimate,
+                self._rounds,
+            )
         self._length_memo[key] = value
         return value
 
     def pseudo(self) -> PseudoSchedule:
         """The full pseudo-schedule of the current state.
 
-        Bit-identical to ``pseudo_schedule(self.to_partition(), ...)``;
-        forces the length, so prefer :meth:`prefix` in hot loops.
+        Without live replicas this is bit-identical to
+        ``pseudo_schedule(self.to_partition(), ...)``; with replicas the
+        same key evaluated replica-aware (loads, producers and
+        communications include replica instances, cross-cluster edges
+        with a local producer instance pay no bus latency). Forces the
+        length, so prefer :meth:`prefix` in hot loops.
         """
         violation, ii_estimate, coms = self.prefix()
         return PseudoSchedule(

@@ -19,7 +19,7 @@ from repro.obs.spans import span as obs_span
 from repro.partition.coarsen import CoarseLevel, coarsen
 from repro.partition.incremental import EvaluatorStats
 from repro.partition.partition import Partition
-from repro.partition.refine import refine
+from repro.partition.refine import refine, refine_replicating
 from repro.partition.weights import edge_weights
 
 
@@ -208,6 +208,37 @@ class MultilevelPartitioner:
             repaired = _repair_capacity(initial, self.machine, ii)
         with obs_span("partition.refine", ii=ii, budget=move_budget):
             return refine(repaired, self.machine, ii, move_budget, stats=self.stats)
+
+    def partition_replicating(
+        self, ii: int, move_budget: int = 64, replication_budget: int = 8
+    ) -> tuple[Partition, dict[int, frozenset[int]]]:
+        """Like :meth:`partition`, with replicate moves enabled.
+
+        Coarsening and capacity repair are shared with :meth:`partition`;
+        only the refinement differs
+        (:func:`~repro.partition.refine.refine_replicating`). Returns the
+        refined partition plus the ``{uid: frozenset(clusters)}`` replica
+        grants for the post-pass replicator to treat as already granted.
+        An unclustered machine has nowhere to replicate into, so it gets
+        the trivial partition and no grants.
+        """
+        if not self.machine.is_clustered:
+            assignment = {uid: 0 for uid in self.ddg.node_ids()}
+            return Partition(self.ddg, assignment, 1), {}
+        initial = self.initial(ii)
+        with obs_span("partition.repair", ii=ii):
+            repaired = _repair_capacity(initial, self.machine, ii)
+        with obs_span(
+            "partition.refine", ii=ii, budget=move_budget, replicating=True
+        ):
+            return refine_replicating(
+                repaired,
+                self.machine,
+                ii,
+                move_budget,
+                replication_budget=replication_budget,
+                stats=self.stats,
+            )
 
 
 def initial_partition(ddg: Ddg, machine: MachineConfig, ii: int) -> Partition:

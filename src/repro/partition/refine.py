@@ -69,6 +69,7 @@ def refine(
                     if prefix > best_prefix:
                         stats.lengths_skipped += 1
                         evaluator.undo(move)
+                        stats.plain_rejected += 1
                         continue
                     if prefix < best_prefix:
                         stats.lengths_skipped += 1
@@ -85,12 +86,14 @@ def refine(
                         imbalance = evaluator.imbalance()
                         if (length, imbalance) >= (best_length, best_imbalance):
                             evaluator.undo(move)
+                            stats.plain_rejected += 1
                             continue
                     best_prefix = prefix
                     best_length = length
                     best_imbalance = imbalance
                     accepted += 1
                     stats.moves_accepted += 1
+                    stats.plain_accepted += 1
                     improved = True
                     break
                 if improved:
@@ -101,3 +104,109 @@ def refine(
         stats.refine_seconds += time.perf_counter() - started
 
     return evaluator.to_partition() if accepted else partition
+
+
+#: Upper bound on replicas granted per replicating refinement call; the
+#: pipeline overrides it from ``SchemeConfig.partition_replication_budget``.
+_DEFAULT_REPLICATION_BUDGET = 8
+
+
+def refine_replicating(
+    partition: Partition,
+    machine: MachineConfig,
+    ii: int,
+    move_budget: int = _DEFAULT_MOVE_BUDGET,
+    replication_budget: int = _DEFAULT_REPLICATION_BUDGET,
+    stats: EvaluatorStats | None = None,
+) -> tuple[Partition, dict[int, frozenset[int]]]:
+    """Refinement where "replicate into a cluster" is a first-class move.
+
+    Each round first tries plain reassignments exactly like
+    :func:`refine`; only when no plain move improves the incumbent does
+    it try cloning a communicating producer into one of its consumer
+    clusters (:meth:`MoveEvaluator.apply_replicate`). Replicate moves
+    are scored with the same lazy lexicographic rule — the cheap prefix
+    (capacity, II estimate, communications) decides first, and the
+    bus-penalized length (which a replica can shorten by localising its
+    register edges) is only relaxed on prefix ties. At most
+    ``replication_budget`` replicas survive to the returned plan.
+
+    Returns the refined partition (home assignment only — replicas are
+    *not* partition nodes) plus the replica grants as a
+    ``{producer uid: frozenset(clusters)}`` mapping for the post-pass
+    replicator to treat as already granted.
+    """
+    started = time.perf_counter()
+    if stats is None:
+        stats = EvaluatorStats()
+    stats.refine_calls += 1
+
+    evaluator = MoveEvaluator(partition, machine, ii, stats)
+    best_prefix = evaluator.prefix()
+    best_length: int | None = None  # relaxed lazily, on the first prefix tie
+    best_imbalance = evaluator.imbalance()
+    accepted = 0
+    replicas_granted = 0
+
+    def consider(move: object) -> bool:
+        """Accept or undo one trial move under the shared lazy scoring."""
+        nonlocal best_prefix, best_length, best_imbalance
+        stats.pseudo_evaluations += 1
+        prefix = evaluator.prefix()
+        if prefix > best_prefix:
+            stats.lengths_skipped += 1
+            evaluator.undo(move)
+            return False
+        if prefix < best_prefix:
+            stats.lengths_skipped += 1
+            length: int | None = None
+            imbalance = evaluator.imbalance()
+        else:
+            if best_length is None:
+                evaluator.undo(move)
+                best_length = evaluator.length()
+                evaluator.redo(move)
+            length = evaluator.length()
+            imbalance = evaluator.imbalance()
+            if (length, imbalance) >= (best_length, best_imbalance):
+                evaluator.undo(move)
+                return False
+        best_prefix = prefix
+        best_length = length
+        best_imbalance = imbalance
+        stats.moves_accepted += 1
+        return True
+
+    try:
+        for _ in range(move_budget):
+            improved = False
+            for uid in evaluator.boundary():
+                for cluster in evaluator.move_targets(uid):
+                    if consider(evaluator.apply(uid, cluster)):
+                        stats.plain_accepted += 1
+                        improved = True
+                        break
+                    stats.plain_rejected += 1
+                if improved:
+                    break
+            if not improved and replicas_granted < replication_budget:
+                for uid in evaluator.replicate_candidates():
+                    for cluster in evaluator.replicate_targets(uid):
+                        if consider(evaluator.apply_replicate(uid, cluster)):
+                            stats.replicate_accepted += 1
+                            replicas_granted += 1
+                            improved = True
+                            break
+                        stats.replicate_rejected += 1
+                    if improved:
+                        break
+            if not improved:
+                break
+            accepted += 1
+    finally:
+        stats.refine_seconds += time.perf_counter() - started
+
+    grants = evaluator.replicas()
+    stats.replicas_surviving = sum(len(clusters) for clusters in grants.values())
+    result = evaluator.to_partition() if accepted else partition
+    return result, grants

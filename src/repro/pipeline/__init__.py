@@ -48,6 +48,7 @@ from repro.pipeline.metrics import (
     harmonic_mean,
     loop_metrics,
 )
+from repro.pipeline.replpart import REPL_PART  # registers "repl-part"
 from repro.pipeline.report import format_table
 
 __all__ = [
@@ -79,5 +80,6 @@ __all__ = [
     "comm_stats",
     "harmonic_mean",
     "loop_metrics",
+    "REPL_PART",
     "format_table",
 ]

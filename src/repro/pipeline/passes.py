@@ -93,11 +93,15 @@ class SchemeConfig:
             (COPY dependence latency replacement; buses still reserved).
         spare_comms: replication only — keep removing communications
             this far beyond the paper's stop rule (0 = paper).
+        partition_replication_budget: ``repl-part`` only — maximum
+            replicas the partitioner may grant *during* refinement
+            (the post-pass replicator then tops up without limit).
     """
 
     length_replication: bool = False
     copy_latency_override: int | None = None
     spare_comms: int = 0
+    partition_replication_budget: int = 8
 
 
 @dataclasses.dataclass
@@ -109,7 +113,11 @@ class CompilationContext:
     persist across II attempts — notably the partitioner, whose
     refinement history the multilevel algorithm reuses as the II grows.
     Per-attempt products (``partition``, ``plan``, ``graph``,
-    ``kernel``) are cleared by :meth:`begin_attempt`.
+    ``kernel``, ``pre_replicas``) are cleared by :meth:`begin_attempt`.
+
+    ``pre_replicas`` carries replicas a partitioning pass granted during
+    refinement (the ``repl-part`` scheme) forward to the planning pass,
+    which folds them into its starting state as already granted.
 
     ``metrics`` is the compilation's typed effort registry (see
     :mod:`repro.obs.metrics`): each pass records through a view scoped
@@ -127,6 +135,7 @@ class CompilationContext:
     ii: int
     partition: Partition | None = None
     plan: ReplicationPlan | None = None
+    pre_replicas: ReplicationPlan | None = None
     graph: PlacedGraph | None = None
     kernel: Kernel | None = None
     causes: list[FailureCause] = dataclasses.field(default_factory=list)
@@ -144,6 +153,7 @@ class CompilationContext:
         self.ii = ii
         self.partition = None
         self.plan = None
+        self.pre_replicas = None
         self.graph = None
         self.kernel = None
         self.diagnostics.ii_trajectory.append(ii)
@@ -164,6 +174,27 @@ class Pass(Protocol):
     def run(self, ctx: CompilationContext) -> None: ...
 
 
+def record_partition_metrics(ctx: CompilationContext, stage: "Pass") -> None:
+    """Publish the partitioner's cumulative counters as stage gauges.
+
+    The stats objects are cumulative across II attempts, so the gauges
+    after the last attempt carry the compilation's totals. Shared by
+    every partitioning pass (plain and replicating).
+    """
+    metrics = ctx.pass_metrics(stage)
+    for name, value in ctx.partitioner.stats.as_counters().items():
+        metrics.gauge(name).set(value)
+    metrics.gauge("lazy_skip_rate").set(ctx.partitioner.stats.lazy_skip_rate)
+    metrics.gauge("length_memo_hit_rate").set(
+        ctx.partitioner.stats.length_memo_hit_rate
+    )
+    memo = analysis_memo_stats(ctx.ddg)
+    metrics.gauge("analysis_memo_hits").set(memo.hits)
+    metrics.gauge("analysis_memo_misses").set(memo.misses)
+    metrics.gauge("analysis_memo_prefills").set(memo.prefills)
+    metrics.gauge("analysis_memo_hit_rate").set(memo.hit_rate)
+
+
 class PartitionPass:
     """Multilevel-partition the DDG at the current II."""
 
@@ -172,20 +203,7 @@ class PartitionPass:
     def run(self, ctx: CompilationContext) -> None:
         ctx.diagnostics.partition_attempts += 1
         ctx.partition = ctx.partitioner.partition(ctx.ii)
-        # The stats objects are cumulative across II attempts, so the
-        # gauges after the last attempt carry the compilation's totals.
-        metrics = ctx.pass_metrics(self)
-        for name, value in ctx.partitioner.stats.as_counters().items():
-            metrics.gauge(name).set(value)
-        metrics.gauge("lazy_skip_rate").set(ctx.partitioner.stats.lazy_skip_rate)
-        metrics.gauge("length_memo_hit_rate").set(
-            ctx.partitioner.stats.length_memo_hit_rate
-        )
-        memo = analysis_memo_stats(ctx.ddg)
-        metrics.gauge("analysis_memo_hits").set(memo.hits)
-        metrics.gauge("analysis_memo_misses").set(memo.misses)
-        metrics.gauge("analysis_memo_prefills").set(memo.prefills)
-        metrics.gauge("analysis_memo_hit_rate").set(memo.hit_rate)
+        record_partition_metrics(ctx, self)
 
 
 class BusFeasibilityPass:
@@ -243,6 +261,7 @@ class ReplicatePlanPass:
             ctx.ii,
             spare_comms=ctx.config.spare_comms,
             stats=self._stats,
+            initial=ctx.pre_replicas,
         )
         metrics = ctx.pass_metrics(self)
         for name, value in self._stats.as_counters().items():

@@ -1,0 +1,105 @@
+"""Shared scoring module + pre-granted replicas in the replicator."""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.plan import EMPTY_PLAN, ReplicationPlan
+from repro.core.replicator import replicate
+from repro.core.state import ReplicationState
+from repro.machine.config import parse_config
+from repro.partition.partition import Partition
+from repro.workloads.generator import LoopSpec, generate_loop
+
+
+def _communicating_case(seed: int = 5, machine_name: str = "4c1b2l64r", ii: int = 2):
+    rng = random.Random(seed)
+    machine = parse_config(machine_name)
+    ddg = generate_loop(LoopSpec(name="seeded"), rng, index=seed).ddg
+    assignment = {
+        uid: rng.randrange(machine.n_clusters) for uid in ddg.node_ids()
+    }
+    partition = Partition(ddg, assignment, machine.n_clusters)
+    assert partition.nof_coms() > 0
+    return ddg, machine, partition, ii
+
+
+class TestSharedScoring:
+    def test_candidate_is_one_type(self):
+        """Both scorers (and back-compat importers) see one Candidate."""
+        from repro.core.replicator import Candidate as from_replicator
+        from repro.core.scoring import Candidate as from_scoring
+
+        assert from_replicator is from_scoring
+
+    def test_score_subgraph_lazy_removable(self):
+        """Infeasible subgraphs must not pay for the removable walk."""
+        from repro.core.scoring import score_subgraph
+        from repro.core.subgraph import find_replication_subgraph
+        from repro.core.weights import sharing_table
+
+        _, machine, partition, ii = _communicating_case()
+        state = ReplicationState(partition, machine, ii)
+        comm = state.active_comms()[0]
+        subgraph = find_replication_subgraph(state, comm)
+        sharing = sharing_table([subgraph])
+        calls = []
+
+        def removable_of():
+            calls.append(1)
+            return []
+
+        scored = score_subgraph(state, subgraph, removable_of, sharing)
+        if scored is None:
+            assert calls == []
+        else:
+            assert len(calls) == 1
+
+
+class TestReplicateInitial:
+    def test_empty_initial_is_identity(self):
+        _, machine, partition, ii = _communicating_case()
+        bare = replicate(partition, machine, ii)
+        seeded = replicate(partition, machine, ii, initial=EMPTY_PLAN)
+        assert seeded.replicas == bare.replicas
+        assert seeded.removed == bare.removed
+        assert seeded.removed_comms == bare.removed_comms
+        assert seeded.initial_coms == bare.initial_coms
+        assert seeded.feasible == bare.feasible
+
+    def test_pre_grants_survive_into_plan(self):
+        _, machine, partition, ii = _communicating_case()
+        state = ReplicationState(partition, machine, ii)
+        comm = state.active_comms()[0]
+        dest = sorted(state.comm_destinations(comm))[0]
+        grants = ReplicationPlan(replicas={comm: frozenset({dest})})
+        plan = replicate(partition, machine, ii, initial=grants)
+        assert dest in plan.replicas.get(comm, frozenset())
+
+    def test_pre_grants_lower_the_starting_comms(self):
+        """A granted replica that covers a destination is already paid
+        for: the top-up pass starts from the post-grant count."""
+        _, machine, partition, ii = _communicating_case()
+        state = ReplicationState(partition, machine, ii)
+        bare_coms = state.nof_coms()
+        comm = state.active_comms()[0]
+        dests = frozenset(state.comm_destinations(comm))
+        grants = ReplicationPlan(replicas={comm: dests})
+        plan = replicate(partition, machine, ii, initial=grants)
+        assert plan.initial_coms < bare_coms
+
+    def test_pre_granted_replicas_consume_resources(self):
+        """from_plan counts granted replicas in the usage tables."""
+        _, machine, partition, ii = _communicating_case()
+        state = ReplicationState(partition, machine, ii)
+        comm = state.active_comms()[0]
+        dest = sorted(state.comm_destinations(comm))[0]
+        kind = partition.ddg.node(comm).fu_kind
+        before = state.usage(kind, dest)
+        seeded = ReplicationState.from_plan(
+            partition,
+            machine,
+            ii,
+            ReplicationPlan(replicas={comm: frozenset({dest})}),
+        )
+        assert seeded.usage(kind, dest) == before + 1

@@ -10,15 +10,16 @@ seeding keeps the walk deterministic without widening the test deps.
 
 from __future__ import annotations
 
+import math
 import random
 
 import pytest
 
-from repro.ddg.graph import EdgeKind
-from repro.machine.config import parse_config
+from repro.ddg.graph import Ddg, EdgeKind
+from repro.machine.config import MachineConfig, parse_config
 from repro.partition.incremental import MoveEvaluator
 from repro.partition.partition import Partition
-from repro.partition.pseudo import pseudo_schedule
+from repro.partition.pseudo import PseudoSchedule, pseudo_schedule
 from repro.workloads.generator import LoopSpec, generate_loop
 
 #: (seed, machine, candidate II) cases; together they drive well over
@@ -83,3 +84,172 @@ def test_random_walk_matches_from_scratch(seed, machine_name, ii):
 
     # Fully unwound: back to the starting partition, bit for bit.
     assert evaluator.to_partition().assignment() == assignment
+
+
+# ----------------------------------------------------------------------
+# Mixed walks: plain reassignments interleaved with replicate moves
+# ----------------------------------------------------------------------
+
+
+def _reference_length(
+    ddg: Ddg,
+    partition: Partition,
+    machine: MachineConfig,
+    ii: int,
+    extra: dict[int, frozenset[int]],
+) -> int:
+    """Replica-aware penalized length, from scratch over Ddg objects.
+
+    Deliberately independent of :mod:`repro.ddg.csr`: a dict-based
+    Bellman-Ford relaxing edges in ``ddg.edges()`` order (the order the
+    kernels pin for bit-identical non-converged partials). A register
+    edge pays the bus only when the producer has no instance — home or
+    replica — in the consumer's home cluster.
+    """
+    start = {uid: 0 for uid in ddg.node_ids()}
+    bus = machine.bus.latency
+    for _ in range(len(ddg) + 1):
+        changed = False
+        for edge in ddg.edges():
+            weight = ddg.node(edge.src).latency - ii * edge.distance
+            if bus and edge.kind is EdgeKind.REGISTER:
+                dst_cluster = partition.cluster_of(edge.dst)
+                if dst_cluster != partition.cluster_of(
+                    edge.src
+                ) and dst_cluster not in extra.get(edge.src, ()):
+                    weight += bus
+            bound = start[edge.src] + weight
+            if bound > start[edge.dst]:
+                start[edge.dst] = bound
+                changed = True
+        if not changed:
+            break
+    return max(start[uid] + ddg.node(uid).latency for uid in ddg.node_ids())
+
+
+def replica_pseudo_reference(
+    partition: Partition,
+    machine: MachineConfig,
+    ii: int,
+    extra: dict[int, frozenset[int]],
+) -> PseudoSchedule:
+    """From-scratch replica-aware pseudo-schedule (whole-graph scans)."""
+    ddg = partition.ddg
+    present = {
+        uid: {partition.cluster_of(uid)} | set(extra.get(uid, ()))
+        for uid in ddg.node_ids()
+    }
+    loads: list[dict] = [{} for _ in range(machine.n_clusters)]
+    producers = [0] * machine.n_clusters
+    totals = [0] * machine.n_clusters
+    for uid in ddg.node_ids():
+        node = ddg.node(uid)
+        for cluster in present[uid]:
+            loads[cluster][node.fu_kind] = loads[cluster].get(node.fu_kind, 0) + 1
+            totals[cluster] += 1
+            if not node.is_store:
+                producers[cluster] += 1
+    ii_res = 1
+    for cluster in machine.cluster_ids():
+        for kind, count in loads[cluster].items():
+            ii_res = max(ii_res, math.ceil(count / machine.fu_count(cluster, kind)))
+    coms = 0
+    for uid in ddg.node_ids():
+        consumer_clusters: set[int] = set()
+        for edge in ddg.out_edges(uid):
+            if edge.kind is EdgeKind.REGISTER:
+                consumer_clusters |= present[edge.dst]
+        if consumer_clusters - present[uid]:
+            coms += 1
+    if machine.bus.count:
+        ii_bus = (
+            machine.bus.latency * math.ceil(coms / machine.bus.count)
+            if coms
+            else 1
+        )
+        stranded_coms = False
+    else:
+        ii_bus = 1
+        stranded_coms = coms > 0
+    ii_estimate = max(ii, ii_res, ii_bus)
+    violation = (
+        ii_res > ii
+        or stranded_coms
+        or any(
+            producers[c] > machine.registers(c) for c in machine.cluster_ids()
+        )
+    )
+    return PseudoSchedule(
+        capacity_violation=violation,
+        ii_estimate=ii_estimate,
+        nof_coms=coms,
+        length_estimate=_reference_length(ddg, partition, machine, ii_estimate, extra),
+        imbalance=(max(totals) - min(totals)) if totals else 0,
+    )
+
+
+@pytest.mark.parametrize("seed,machine_name,ii", CASES)
+def test_mixed_walk_matches_from_scratch(seed, machine_name, ii):
+    """Interleaved plain + replicate moves track the from-scratch metric.
+
+    Every state along the walk — after each apply and each LIFO undo —
+    is checked against :func:`replica_pseudo_reference` built from a
+    freshly materialized partition plus the evaluator's replica map, and
+    the boundary against the home-based scan (replicas are not homes).
+    """
+    rng = random.Random(1000 + seed)
+    machine = parse_config(machine_name)
+    ddg = generate_loop(LoopSpec(name="walk"), rng, index=seed).ddg
+    uids = list(ddg.node_ids())
+    assignment = {uid: rng.randrange(machine.n_clusters) for uid in uids}
+    partition = Partition(ddg, assignment, machine.n_clusters)
+
+    evaluator = MoveEvaluator(partition, machine, ii)
+
+    def check() -> None:
+        now = evaluator.to_partition()
+        extra = evaluator.replicas()
+        assert evaluator.pseudo() == replica_pseudo_reference(
+            now, machine, ii, extra
+        )
+        assert evaluator.boundary() == scan_boundary(now)
+
+    # Replica-aware tables activate on first use and must not perturb
+    # any observable while no replicas exist.
+    plain = evaluator.pseudo()
+    evaluator.replicate_candidates()
+    assert evaluator.pseudo() == plain
+    check()
+
+    undo_stack = []
+    for _ in range(MOVES_PER_CASE):
+        roll = rng.random()
+        if undo_stack and roll < 0.3:
+            # Unwind in LIFO order — the only order undo guarantees.
+            evaluator.undo(undo_stack.pop())
+        elif roll < 0.65:
+            uid = rng.choice(uids)
+            targets = evaluator.move_targets(uid)
+            if not targets:
+                continue
+            undo_stack.append(evaluator.apply(uid, rng.choice(targets)))
+        else:
+            candidates = evaluator.replicate_candidates()
+            if not candidates:
+                continue
+            uid = rng.choice(candidates)
+            targets = evaluator.replicate_targets(uid)
+            if not targets:
+                continue
+            undo_stack.append(
+                evaluator.apply_replicate(uid, rng.choice(targets))
+            )
+        check()
+
+    while undo_stack:
+        evaluator.undo(undo_stack.pop())
+        check()
+
+    # Fully unwound: starting assignment, zero surviving replicas.
+    assert evaluator.to_partition().assignment() == assignment
+    assert evaluator.replicas() == {}

@@ -150,6 +150,36 @@ class TestBench:
             assert 0.0 <= stage["p50_seconds"] <= stage["p95_seconds"]
         assert payload["failures"] == []
 
+    def test_schemes_filter_runs_registered_scheme(self, capsys):
+        assert (
+            main(
+                ["bench", "--benchmark", "mgrid", "--machine", "2c1b2l64r",
+                 "--limit", "1", "--jobs", "1", "--schemes", "repl-part",
+                 "--quiet", "--no-cache"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "repl-part" in out
+        assert "baseline" not in out.split("per-stage")[0]
+
+    def test_schemes_filter_accepts_comma_separated(self, capsys):
+        main(["bench", "--benchmark", "mgrid", "--machine", "2c1b2l64r",
+              "--limit", "1", "--jobs", "1",
+              "--schemes", "baseline,repl-part", "--quiet", "--no-cache"])
+        out = capsys.readouterr().out
+        assert "baseline" in out and "repl-part" in out
+
+    def test_unknown_scheme_exits_with_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["bench", "--benchmark", "mgrid", "--limit", "1",
+                  "--jobs", "1", "--schemes", "nonsense", "--quiet",
+                  "--no-cache"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown scheme 'nonsense'" in err
+        assert "repl-part" in err  # the message lists what IS available
+
     def test_events_file_is_jsonl(self, tmp_path, capsys):
         import json
 

@@ -9,7 +9,9 @@ Commands:
   profile-weighted IPC under baseline and replication.
 * ``bench`` — run a benchmark x machine x scheme matrix through the
   parallel engine (persistent cache, ``--jobs N`` fan-out) and print a
-  summary table plus the cache hit-rate.
+  summary table plus the cache hit-rate; ``--check BASELINE.json``
+  diffs the run against a committed baseline and exits nonzero on
+  regression.
 * ``dot`` — emit Graphviz DOT for a loop (optionally partitioned).
 * ``trace`` — record a traced run of any other command, or analyse
   existing trace files: flame summaries, per-stage histograms, trace
@@ -17,6 +19,8 @@ Commands:
 * ``serve`` — run the compilation service: an HTTP/JSON API over a
   sharded, replicated result cache (``--smoke`` boots an ephemeral
   server and verifies one job end-to-end).
+* ``top`` — live text dashboard for a running server (jobs/s, queue
+  depth, request-latency percentiles, cache hit rate, shard health).
 * ``cache`` — inspect or clear the persistent result cache
   (``stats``, ``clear``, ``path``).
 
@@ -402,60 +406,61 @@ def cmd_bench(args: argparse.Namespace) -> int:
     stage_pcts = _stage_percentiles(results)
     counter_totals = _counter_totals(results)
 
+    stats = cache.stats() if cache.enabled else None
+    payload = {
+        "cells": [
+            {
+                "benchmark": row[0],
+                "machine": row[1],
+                "scheme": row[2],
+                "loops": row[3],
+                "ok": row[4],
+                "failed": row[5],
+                "timeout": row[6],
+                "ipc": row[7],
+            }
+            for row in rows
+        ],
+        "jobs": len(results),
+        "elapsed_seconds": round(elapsed, 6),
+        "cache": {
+            "enabled": cache.enabled,
+            "hits": hits,
+            "lookups": len(results),
+            "hit_rate": round(hit_rate, 6),
+            "entries": stats.entries if stats else 0,
+            "total_bytes": stats.total_bytes if stats else 0,
+        },
+        "stages": {
+            stage: {
+                "seconds": round(seconds, 6),
+                "share": round(seconds / stage_sum, 6),
+                "samples": stage_pcts[stage]["samples"],
+                "p50_seconds": round(stage_pcts[stage]["p50_seconds"], 6),
+                "p95_seconds": round(stage_pcts[stage]["p95_seconds"], 6),
+            }
+            for stage, seconds in sorted(
+                stage_totals.items(), key=lambda kv: -kv[1]
+            )
+        },
+        "counters": {
+            name: round(value, 6)
+            for name, value in sorted(counter_totals.items())
+        },
+        "failures": [
+            {
+                "tag": res.tag,
+                "outcome": res.outcome.value,
+                "error_kind": res.error_kind.value,
+                "error": res.error,
+            }
+            for res in failures
+        ],
+    }
+
     if args.format == "json":
-        stats = cache.stats() if cache.enabled else None
-        payload = {
-            "cells": [
-                {
-                    "benchmark": row[0],
-                    "machine": row[1],
-                    "scheme": row[2],
-                    "loops": row[3],
-                    "ok": row[4],
-                    "failed": row[5],
-                    "timeout": row[6],
-                    "ipc": row[7],
-                }
-                for row in rows
-            ],
-            "jobs": len(results),
-            "elapsed_seconds": round(elapsed, 6),
-            "cache": {
-                "enabled": cache.enabled,
-                "hits": hits,
-                "lookups": len(results),
-                "hit_rate": round(hit_rate, 6),
-                "entries": stats.entries if stats else 0,
-                "total_bytes": stats.total_bytes if stats else 0,
-            },
-            "stages": {
-                stage: {
-                    "seconds": round(seconds, 6),
-                    "share": round(seconds / stage_sum, 6),
-                    "samples": stage_pcts[stage]["samples"],
-                    "p50_seconds": round(stage_pcts[stage]["p50_seconds"], 6),
-                    "p95_seconds": round(stage_pcts[stage]["p95_seconds"], 6),
-                }
-                for stage, seconds in sorted(
-                    stage_totals.items(), key=lambda kv: -kv[1]
-                )
-            },
-            "counters": {
-                name: round(value, 6)
-                for name, value in sorted(counter_totals.items())
-            },
-            "failures": [
-                {
-                    "tag": res.tag,
-                    "outcome": res.outcome.value,
-                    "error_kind": res.error_kind.value,
-                    "error": res.error,
-                }
-                for res in failures
-            ],
-        }
         print(json.dumps(payload, indent=2, sort_keys=True))
-        return 0
+        return _bench_check(args, payload)
 
     print(
         format_table(
@@ -511,7 +516,35 @@ def cmd_bench(args: argparse.Namespace) -> int:
             print(f"  {res.tag}: [{res.outcome.value}{kind}] {res.error}")
         if len(failures) > 10:
             print(f"  ... and {len(failures) - 10} more")
-    return 0
+    return _bench_check(args, payload)
+
+
+def _bench_check(args: argparse.Namespace, payload: dict) -> int:
+    """Gate the bench payload against ``--check BASELINE`` (if given).
+
+    Prints the delta table and returns 1 on regression, 0 otherwise
+    (including when no baseline was requested).
+    """
+    if not getattr(args, "check", None):
+        return 0
+    import json
+
+    from repro.pipeline.regression import compare_bench
+
+    with open(args.check, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    report = compare_bench(payload, baseline, tolerance=args.tolerance / 100.0)
+    # Keep stdout pure JSON in --format json; the table goes to stderr.
+    out = sys.stderr if args.format == "json" else sys.stdout
+    print(report.table(), file=out)
+    if report.ok:
+        print(f"bench check vs {args.check}: OK", file=out)
+        return 0
+    print(
+        f"bench check vs {args.check}: {len(report.regressions)} regression(s)",
+        file=sys.stderr,
+    )
+    return 1
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -599,27 +632,32 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     async def _serve() -> None:
         from repro.engine.events import EventBus, JsonlSink
+        from repro.obs.log import get_logger
 
+        log = get_logger("serve")
         bus = EventBus([JsonlSink(args.events)]) if args.events else None
         cache, _admission, manager, _metrics = build_service(config, bus=bus)
         server = ServeServer(manager, cache, host=config.host, port=config.port)
         await server.start()
-        print(
-            f"repro serve: {server.url}  shards={config.shards} "
-            f"replication={cache.ring.replication} executor={config.executor} "
-            f"workers={config.workers}  data={config.resolved_data_dir()}",
-            file=sys.stderr,
+        log.info(
+            "listening",
+            url=server.url,
+            shards=config.shards,
+            replication=cache.ring.replication,
+            executor=config.executor,
+            workers=config.workers,
+            data=str(config.resolved_data_dir()),
         )
         try:
             while True:
                 await asyncio.sleep(args.sweep_interval or 3600)
                 if args.sweep_interval:
                     report = cache.sweep()
-                    print(f"anti-entropy: {report.summary()}", file=sys.stderr)
+                    log.info("anti-entropy sweep", summary=report.summary())
         except asyncio.CancelledError:
             pass
         finally:
-            print("draining...", file=sys.stderr)
+            log.info("draining")
             await server.shutdown()
 
     try:
@@ -627,6 +665,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         pass
     return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live text dashboard polling a server's /stats + /metrics."""
+    from repro.serve.top import run_top
+
+    return run_top(
+        args.url,
+        interval=args.interval,
+        iterations=args.iterations,
+        once=args.once,
+    )
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
@@ -811,6 +861,21 @@ def build_parser() -> argparse.ArgumentParser:
         default="text",
         help="output format: human tables or one JSON document",
     )
+    p.add_argument(
+        "--check",
+        default=None,
+        metavar="BASELINE",
+        help="diff this run against a bench JSON baseline "
+        "(e.g. BENCH_pr8.json); exit 1 on regression",
+    )
+    p.add_argument(
+        "--tolerance",
+        type=float,
+        default=20.0,
+        metavar="PCT",
+        help="allowed relative slowdown / IPC drop for --check "
+        "(percent, default: 20)",
+    )
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser(
@@ -944,6 +1009,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
+        "top",
+        help="live dashboard for a running serve deployment",
+    )
+    p.add_argument(
+        "--url",
+        default="http://127.0.0.1:8774",
+        help="server base URL (default: http://127.0.0.1:8774)",
+    )
+    p.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="poll interval (default: 2s)",
+    )
+    p.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N frames (default: run until interrupted)",
+    )
+    p.add_argument(
+        "--once",
+        action="store_true",
+        help="print one dashboard frame and exit (no screen clearing)",
+    )
+    p.set_defaults(func=cmd_top)
+
+    p = sub.add_parser(
         "cache", help="inspect or clear the persistent result cache"
     )
     p.add_argument(
@@ -983,19 +1078,22 @@ def main(argv: list[str] | None = None) -> int:
     When ``REPRO_TRACE`` names a file (any value other than the on/off
     words), the spans collected during the command are appended to it on
     the way out — so ``REPRO_TRACE=run.jsonl python -m repro bench``
-    records a trace without the ``trace`` wrapper.
+    records a trace without the ``trace`` wrapper. The flush runs in a
+    ``finally`` so a crashing command still leaves a parseable trace of
+    everything up to the failure — exactly when a trace is most wanted.
     """
     args = build_parser().parse_args(argv)
-    code = args.func(args)
-    if args.command != "trace":
-        from repro.obs import spans as obs
-        from repro.obs.export import write_spans
+    try:
+        return args.func(args)
+    finally:
+        if args.command != "trace":
+            from repro.obs import spans as obs
+            from repro.obs.export import write_spans
 
-        path = obs.trace_path()
-        if obs.enabled() and path:
-            count = write_spans(obs.tracer().drain_wire(), path)
-            print(f"wrote {count} spans to {path}", file=sys.stderr)
-    return code
+            path = obs.trace_path()
+            if obs.enabled() and path:
+                count = write_spans(obs.tracer().drain_wire(), path)
+                print(f"wrote {count} spans to {path}", file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via -m

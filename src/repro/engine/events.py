@@ -61,6 +61,10 @@ class Event:
         error_kind: failure taxonomy value (see
             :class:`repro.engine.jobs.ErrorKind`) for non-OK events.
         timestamp: UNIX time the event was emitted.
+        trace: trace id of the span tree that produced the event, so a
+            streamed event can be joined against its trace (serve
+            stamps these on the NDJSON event stream).
+        span: id of the producing span within that trace.
     """
 
     kind: EventKind
@@ -72,6 +76,8 @@ class Event:
     error: str = ""
     error_kind: str = ""
     timestamp: float = 0.0
+    trace: str = ""
+    span: int = 0
 
     def to_dict(self) -> dict:
         """JSON-ready form (None fields dropped)."""
@@ -91,6 +97,10 @@ class Event:
             data["error"] = self.error
         if self.error_kind:
             data["error_kind"] = self.error_kind
+        if self.trace:
+            data["trace"] = self.trace
+        if self.span:
+            data["span"] = self.span
         return data
 
 

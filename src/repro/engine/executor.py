@@ -35,6 +35,10 @@ from repro.engine.cache import ResultCache, default_cache
 from repro.engine.events import Event, EventBus, EventKind
 from repro.engine.jobs import CompileJob, ErrorKind, JobResult, Outcome, run_job
 from repro.obs import spans as obs
+from repro.obs.log import get_logger
+from repro.obs.propagate import format_traceparent, parse_traceparent
+
+_log = get_logger("engine")
 
 #: Environment variable with the default worker count for library use.
 JOBS_ENV = "REPRO_ENGINE_JOBS"
@@ -161,16 +165,27 @@ def _timed_run(job: CompileJob, key: str, timeout: float | None) -> JobResult:
     return result
 
 
-def _execute_wire(wire: dict, key: str, timeout: float | None) -> JobResult:
+def _execute_wire(
+    wire: dict,
+    key: str,
+    timeout: float | None,
+    traceparent: str | None = None,
+) -> JobResult:
     """Worker-process entry point: rebuild the job and run it.
 
     When tracing is on (the worker inherits ``REPRO_TRACE``), the job
     runs under a worker-side ``engine.job`` span; every span the job
     produced is drained from the worker tracer and shipped back on the
     result, where :func:`run_jobs` re-parents it under the batch span.
+    ``traceparent`` (the caller's serialized span context — see
+    :mod:`repro.obs.propagate`) makes the worker's spans part of the
+    caller's trace instead of rooting a fresh one.
     """
     job = CompileJob.from_wire(wire)
-    with obs.span("engine.job", tag=job.tag, key=key[:12], worker=True) as job_span:
+    remote = parse_traceparent(traceparent)
+    with obs.span(
+        "engine.job", remote=remote, tag=job.tag, key=key[:12], worker=True
+    ) as job_span:
         result = _timed_run(job, key, timeout)
         job_span.set(outcome=result.outcome.value)
     if obs.enabled():
@@ -178,26 +193,42 @@ def _execute_wire(wire: dict, key: str, timeout: float | None) -> JobResult:
     return result
 
 
-def execute_wire(wire: dict, key: str, timeout: float | None) -> JobResult:
+def execute_wire(
+    wire: dict,
+    key: str,
+    timeout: float | None,
+    traceparent: str | None = None,
+) -> JobResult:
     """Public worker entry point (see :func:`_execute_wire`).
 
     Used by the serving layer (:mod:`repro.serve.manager`) to run one
     submitted job on its persistent process pool with exactly the same
     span/timeout behaviour as a batch worker.
     """
-    return _execute_wire(wire, key, timeout)
+    return _execute_wire(wire, key, timeout, traceparent)
 
 
-def execute_wire_inline(wire: dict, key: str, timeout: float | None) -> JobResult:
+def execute_wire_inline(
+    wire: dict,
+    key: str,
+    timeout: float | None,
+    traceparent: str | None = None,
+) -> JobResult:
     """Run one wire-format job in the calling process, without shipping
     spans back (they are already in this process's tracer).
 
     The thread-pool variant of :func:`execute_wire`: per-job SIGALRM
     timeouts need the main thread, so ``timeout`` is best-effort here
-    (a no-op off the main thread — see :func:`_deadline`).
+    (a no-op off the main thread — see :func:`_deadline`). The
+    ``traceparent`` still matters: thread-pool workers run outside the
+    submitting task's :mod:`contextvars` context, so without it the
+    job span would root its own trace.
     """
     job = CompileJob.from_wire(wire)
-    with obs.span("engine.job", tag=job.tag, key=key[:12]) as job_span:
+    remote = parse_traceparent(traceparent)
+    with obs.span(
+        "engine.job", remote=remote, tag=job.tag, key=key[:12]
+    ) as job_span:
         result = _timed_run(job, key, timeout)
         job_span.set(outcome=result.outcome.value)
     return result
@@ -270,8 +301,19 @@ def run_jobs(
                     results[index] = _timed_run(jobs[index], keys[index], timeout)
                     job_span.set(outcome=results[index].outcome.value)
         elif pending:
+            traceparent = (
+                format_traceparent(batch.context) if batch.trace_id else None
+            )
             _run_pool(
-                jobs, keys, pending, results, workers, timeout, config.retries, bus
+                jobs,
+                keys,
+                pending,
+                results,
+                workers,
+                timeout,
+                config.retries,
+                bus,
+                traceparent,
             )
 
         for index in pending:
@@ -279,7 +321,11 @@ def run_jobs(
             if result.spans:
                 # Worker-side spans: re-parent this job's span tree (its
                 # root is the worker's ``engine.job``) under the batch.
-                obs.tracer().adopt(result.spans, parent_id=batch.span_id or None)
+                obs.tracer().adopt(
+                    result.spans,
+                    parent_id=batch.span_id or None,
+                    trace_id=batch.trace_id,
+                )
                 result.spans = []
             if result.ok and not result.cached:
                 cache.put(result.key, result.result)
@@ -296,6 +342,7 @@ def _run_pool(
     timeout: float | None,
     retries: int,
     bus: EventBus,
+    traceparent: str | None = None,
 ) -> None:
     """Fan pending jobs out over worker processes, retrying deaths.
 
@@ -317,7 +364,11 @@ def _run_pool(
                     Event(kind=EventKind.STARTED, key=keys[index], tag=jobs[index].tag)
                 )
                 futures[index] = pool.submit(
-                    _execute_wire, jobs[index].to_wire(), keys[index], timeout
+                    _execute_wire,
+                    jobs[index].to_wire(),
+                    keys[index],
+                    timeout,
+                    traceparent,
                 )
             for index in queue:
                 try:
@@ -325,8 +376,20 @@ def _run_pool(
                 except BrokenProcessPool:
                     attempts[index] += 1
                     if attempts[index] <= retries:
+                        _log.warning(
+                            "worker died, retrying job",
+                            tag=jobs[index].tag,
+                            key=keys[index][:12],
+                            attempt=attempts[index],
+                        )
                         retry.append(index)
                     else:
+                        _log.error(
+                            "worker died, retries exhausted",
+                            tag=jobs[index].tag,
+                            key=keys[index][:12],
+                            attempts=attempts[index],
+                        )
                         results[index] = JobResult(
                             key=keys[index],
                             tag=jobs[index].tag,

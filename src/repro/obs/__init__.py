@@ -40,6 +40,7 @@ from repro.obs.export import (
     write_chrome_trace,
     write_spans,
 )
+from repro.obs.log import LOG_ENV, LOG_LEVEL_ENV, Logger, get_logger
 from repro.obs.metrics import (
     LOG_SECONDS_BOUNDS,
     Counter,
@@ -48,15 +49,28 @@ from repro.obs.metrics import (
     MetricsRegistry,
     ScopedRegistry,
 )
+from repro.obs.prometheus import (
+    parse_exposition,
+    render_exposition,
+    validate_exposition,
+)
+from repro.obs.propagate import (
+    TRACEPARENT_HEADER,
+    format_traceparent,
+    parse_traceparent,
+)
 from repro.obs.spans import (
     NOOP_SPAN,
     TRACE_ENV,
     Span,
+    SpanContext,
     Tracer,
+    current_context,
     disable,
     enable,
     enabled,
     force_enabled,
+    new_trace_id,
     span,
     trace_path,
     tracer,
@@ -78,6 +92,16 @@ __all__ = [
     "read_trace",
     "write_chrome_trace",
     "write_spans",
+    "LOG_ENV",
+    "LOG_LEVEL_ENV",
+    "Logger",
+    "get_logger",
+    "parse_exposition",
+    "render_exposition",
+    "validate_exposition",
+    "TRACEPARENT_HEADER",
+    "format_traceparent",
+    "parse_traceparent",
     "LOG_SECONDS_BOUNDS",
     "Counter",
     "Gauge",
@@ -87,11 +111,14 @@ __all__ = [
     "NOOP_SPAN",
     "TRACE_ENV",
     "Span",
+    "SpanContext",
     "Tracer",
+    "current_context",
     "disable",
     "enable",
     "enabled",
     "force_enabled",
+    "new_trace_id",
     "span",
     "trace_path",
     "tracer",

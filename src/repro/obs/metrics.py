@@ -122,6 +122,37 @@ class Histogram:
         if other.max > self.max:
             self.max = other.max
 
+    def to_wire(self) -> dict:
+        """Lossless JSON form: buckets + exact count/sum/max + quantiles.
+
+        The typed counterpart of the :meth:`MetricsRegistry.snapshot`
+        flatten (which drops the bucket vector): ``bounds``/``counts``
+        carry the full distribution so consumers can merge histograms
+        or recompute quantiles over deltas, and p50/p95/p99 come
+        precomputed for dashboards.
+        """
+        return {
+            "type": "histogram",
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.total,
+            "max": self.max,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+    @staticmethod
+    def from_wire(record: dict, name: str = "") -> "Histogram":
+        """Rebuild a histogram from :meth:`to_wire` output."""
+        histogram = Histogram(name or "histogram", tuple(record["bounds"]))
+        histogram.counts = [int(c) for c in record["counts"]]
+        histogram.count = int(record["count"])
+        histogram.total = float(record["sum"])
+        histogram.max = float(record["max"])
+        return histogram
+
 
 class MetricsRegistry:
     """Named instruments behind one typed, thread-safe API."""
@@ -182,6 +213,25 @@ class MetricsRegistry:
             else:
                 flat[name] = instrument.value  # type: ignore[attr-defined]
         return flat
+
+    def export(self) -> dict[str, dict]:
+        """Typed, lossless snapshot: name → tagged wire dict.
+
+        Counters become ``{"type": "counter", "value": v}``, gauges
+        ``{"type": "gauge", "value": v}``, histograms their full
+        :meth:`Histogram.to_wire` form (buckets + count/sum/max +
+        p50/p95/p99). This is the ``/stats`` wire shape — unlike
+        :meth:`snapshot` nothing is flattened away.
+        """
+        out: dict[str, dict] = {}
+        for name, instrument in self.instruments().items():
+            if isinstance(instrument, Histogram):
+                out[name] = instrument.to_wire()
+            elif isinstance(instrument, Counter):
+                out[name] = {"type": "counter", "value": instrument.value}
+            else:
+                out[name] = {"type": "gauge", "value": instrument.value}
+        return out
 
 
 class ScopedRegistry:

@@ -16,17 +16,31 @@ enabled, finished spans flow to the :class:`~repro.obs.export.Exporter`
 pipeline of the process-wide :class:`Tracer` (an in-memory exporter is
 always installed, so :meth:`Tracer.drain` works without setup).
 
-The tracer is thread-safe (per-thread span stacks, one lock around the
-finished list) and process-safe: its identity is keyed on ``os.getpid``,
-so a forked worker starts from a clean tracer instead of inheriting the
-parent's open spans, and worker-side spans travel back to the engine as
-plain dicts (:meth:`Span.to_wire`) to be re-parented with
-:meth:`Tracer.adopt`.
+The tracer is thread- and task-safe (the open-span stack lives in a
+:mod:`contextvars` context variable, so two asyncio tasks interleaving
+on one event loop cannot adopt each other's parents) and process-safe:
+its identity is keyed on ``os.getpid``, so a forked worker starts from
+a clean tracer instead of inheriting the parent's open spans, and
+worker-side spans travel back to the engine as plain dicts
+(:meth:`Span.to_wire`) to be re-parented with :meth:`Tracer.adopt`.
+
+Every span belongs to a **trace**: a root span mints a fresh 128-bit
+``trace_id`` and children inherit it, so one request's spans share one
+id even across process boundaries. A remote caller's position in the
+tree travels as a :class:`SpanContext` (see
+:mod:`repro.obs.propagate` for the ``traceparent`` header form);
+opening a span with ``remote=ctx`` continues the caller's trace when
+there is no local parent. Span ids are drawn from a per-tracer
+random-based sequence (unique across processes with overwhelming
+probability, still monotone within one tracer) so traces merged from
+several processes stitch without remapping.
 """
 
 from __future__ import annotations
 
 import contextlib
+import contextvars
+import dataclasses
 import itertools
 import os
 import threading
@@ -53,13 +67,36 @@ def _env_state() -> tuple[bool, str | None]:
     return True, raw
 
 
+def new_trace_id() -> str:
+    """A fresh 128-bit trace id (32 lowercase hex chars)."""
+    return os.urandom(16).hex()
+
+
+@dataclasses.dataclass(frozen=True)
+class SpanContext:
+    """A span's position in a trace, small enough to put in a header.
+
+    The cross-boundary handle: a client captures the context of its
+    open span (:func:`current_context`), ships it (see
+    :func:`repro.obs.propagate.format_traceparent`), and the server
+    opens its own span with ``remote=ctx`` so both sides share one
+    ``trace_id`` and the server's root points at the client's span.
+    """
+
+    trace_id: str
+    span_id: int
+
+
 class Span:
     """One finished-or-open timed region.
 
     Attributes:
         name: dotted span name (``"engine.job"``, ``"pass.schedule"``).
-        span_id: tracer-local id, unique within one process's tracer.
-        parent_id: id of the enclosing span, or None for roots.
+        span_id: id from the owning tracer's sequence (random-based, so
+            unique across processes with overwhelming probability).
+        parent_id: id of the enclosing span, or None for roots. The
+            parent may live in another process (remote contexts).
+        trace_id: 128-bit hex id shared by every span of one trace.
         start: UNIX time the span opened (cross-process comparable).
         duration: wall-clock seconds (0.0 while still open).
         attrs: free-form attributes from the call site and :meth:`set`.
@@ -71,6 +108,7 @@ class Span:
         "name",
         "span_id",
         "parent_id",
+        "trace_id",
         "start",
         "duration",
         "attrs",
@@ -88,10 +126,12 @@ class Span:
         parent_id: int | None,
         attrs: dict,
         tracer: "Tracer | None" = None,
+        trace_id: str = "",
     ) -> None:
         self.name = name
         self.span_id = span_id
         self.parent_id = parent_id
+        self.trace_id = trace_id
         self.attrs = attrs
         self.start = time.time()
         self.duration = 0.0
@@ -104,6 +144,11 @@ class Span:
     def set(self, **attrs) -> None:
         """Attach or overwrite attributes on the open span."""
         self.attrs.update(attrs)
+
+    @property
+    def context(self) -> SpanContext:
+        """This span's :class:`SpanContext` (for propagation)."""
+        return SpanContext(self.trace_id, self.span_id)
 
     def __enter__(self) -> "Span":
         if self._tracer is not None:
@@ -118,6 +163,21 @@ class Span:
             self._tracer._pop(self)
         return False  # never swallow
 
+    def finish(self, error: bool = False) -> None:
+        """Close a span that was never entered as a context manager.
+
+        For regions whose lifetime does not nest in one call frame
+        (e.g. an async request handler that must not leave the span on
+        the context stack across awaits): stamps the duration and
+        exports through the owning tracer. Safe to call whether or not
+        the span is on the stack.
+        """
+        self.duration = time.perf_counter() - self._t0
+        if error:
+            self.error = True
+        if self._tracer is not None:
+            self._tracer._pop(self)
+
     def to_wire(self) -> dict:
         """JSON/pickle-friendly dict (the trace-file line format)."""
         record = {
@@ -129,6 +189,8 @@ class Span:
             "pid": self.pid,
             "tid": self.tid,
         }
+        if self.trace_id:
+            record["trace"] = self.trace_id
         if self.error:
             record["error"] = True
         if self.attrs:
@@ -142,6 +204,7 @@ class Span:
         span.name = record["name"]
         span.span_id = record["id"]
         span.parent_id = record.get("parent")
+        span.trace_id = record.get("trace", "")
         span.start = record.get("start", 0.0)
         span.duration = record.get("dur", 0.0)
         span.attrs = dict(record.get("attrs", {}))
@@ -166,9 +229,13 @@ class _NoopSpan:
     name = ""
     span_id = 0
     parent_id = None
+    trace_id = ""
     error = False
 
     def set(self, **attrs) -> None:
+        pass
+
+    def finish(self, error: bool = False) -> None:
         pass
 
     def __enter__(self) -> "_NoopSpan":
@@ -180,6 +247,17 @@ class _NoopSpan:
 
 NOOP_SPAN = _NoopSpan()
 
+#: The open-span stack. A context variable instead of thread-local
+#: state: asyncio tasks get isolated (copied) contexts, so a request
+#: span left open across an ``await`` cannot become the parent of an
+#: unrelated task's spans. Entries are immutable tuples, never mutated
+#: in place, so tasks sharing a snapshot cannot see each other's pushes.
+#: Spans of a forked parent are filtered out by pid in
+#: :meth:`Tracer.current_span`.
+_STACK: contextvars.ContextVar[tuple] = contextvars.ContextVar(
+    "repro_obs_span_stack", default=()
+)
+
 
 class Tracer:
     """Process-wide span collector with pluggable exporters."""
@@ -188,42 +266,55 @@ class Tracer:
         self.pid = os.getpid()
         self.memory = InMemoryExporter()
         self.pipeline = ExportPipeline([self.memory])
-        self._ids = itertools.count(1)
+        # Random high bits + a small counter space keeps ids unique
+        # across processes (so merged multi-process traces stitch
+        # without remapping) while staying below 2**53 — exact in every
+        # JSON consumer, including the Chrome trace viewer.
+        base = (int.from_bytes(os.urandom(4), "big") << 21) + 1
+        self._ids = itertools.count(base)
         self._lock = threading.Lock()
-        self._local = threading.local()
 
     # -- span lifecycle -------------------------------------------------
 
-    def span(self, name: str, **attrs) -> Span:
-        """Open a span parented under this thread's current span."""
+    def span(self, name: str, remote: SpanContext | None = None, **attrs) -> Span:
+        """Open a span parented under the current span.
+
+        The parent is the innermost span open in the calling context;
+        with no local parent, ``remote`` (a propagated
+        :class:`SpanContext`, e.g. from a ``traceparent`` header)
+        continues the caller's trace; with neither, the span roots a
+        fresh trace.
+        """
         parent = self.current_span()
         with self._lock:
             span_id = next(self._ids)
-        return Span(
-            name,
-            span_id,
-            parent.span_id if parent is not None else None,
-            attrs,
-            tracer=self,
-        )
+        if parent is not None:
+            parent_id: int | None = parent.span_id
+            trace_id = parent.trace_id or new_trace_id()
+        elif remote is not None and remote.trace_id:
+            parent_id = remote.span_id
+            trace_id = remote.trace_id
+        else:
+            parent_id = None
+            trace_id = new_trace_id()
+        return Span(name, span_id, parent_id, attrs, tracer=self, trace_id=trace_id)
 
     def current_span(self) -> Span | None:
-        """The innermost open span on the calling thread, if any."""
-        stack = getattr(self._local, "stack", None)
-        return stack[-1] if stack else None
+        """The innermost open span in the calling context, if any."""
+        pid = os.getpid()
+        for span in reversed(_STACK.get()):
+            if span.pid == pid:  # skip stale pre-fork entries
+                return span
+        return None
 
     def _push(self, span: Span) -> None:
-        stack = getattr(self._local, "stack", None)
-        if stack is None:
-            stack = self._local.stack = []
-        stack.append(span)
+        _STACK.set(_STACK.get() + (span,))
 
     def _pop(self, span: Span) -> None:
-        stack = getattr(self._local, "stack", None)
-        if stack and stack[-1] is span:
-            stack.pop()
-        elif stack and span in stack:  # mis-nested exit: recover
-            stack.remove(span)
+        stack = _STACK.get()
+        if span in stack:
+            index = len(stack) - 1 - stack[::-1].index(span)
+            _STACK.set(stack[:index] + stack[index + 1 :])
         with self._lock:
             self.pipeline.export_span(span)
 
@@ -235,26 +326,35 @@ class Tracer:
         start: float,
         duration: float,
         parent_id: int | None = None,
+        trace_id: str = "",
         **attrs,
     ) -> Span:
         """Append an already-measured span (no context manager)."""
         with self._lock:
             span_id = next(self._ids)
-        span = Span(name, span_id, parent_id, attrs, tracer=None)
+        span = Span(name, span_id, parent_id, attrs, tracer=None, trace_id=trace_id)
         span.start = start
         span.duration = duration
         with self._lock:
             self.pipeline.export_span(span)
         return span
 
-    def adopt(self, wire_spans: list[dict], parent_id: int | None) -> list[Span]:
+    def adopt(
+        self,
+        wire_spans: list[dict],
+        parent_id: int | None,
+        trace_id: str = "",
+    ) -> list[Span]:
         """Ingest spans shipped from another process.
 
         Ids are remapped onto this tracer's sequence (worker-local ids
-        collide across workers); internal parent links are preserved and
-        every *root* of the shipped batch is re-parented under
-        ``parent_id`` — this is how worker-side pass spans end up under
-        their engine job's span.
+        could collide across workers); internal parent links are
+        preserved and every *root* of the shipped batch is re-parented
+        under ``parent_id`` — this is how worker-side pass spans end up
+        under their engine job's span. A span's own ``trace_id`` is
+        preserved when present (workers that received a propagated
+        context already stamp the right trace); spans without one take
+        ``trace_id``.
         """
         spans = [Span.from_wire(record) for record in wire_spans]
         with self._lock:
@@ -266,6 +366,8 @@ class Tracer:
                 span.parent_id = remap[span.parent_id]
             else:
                 span.parent_id = parent_id
+            if not span.trace_id:
+                span.trace_id = trace_id
             with self._lock:
                 self.pipeline.export_span(span)
             adopted.append(span)
@@ -365,11 +467,29 @@ def trace_path() -> str | None:
     return _trace_path
 
 
-def span(name: str, **attrs):
-    """Open a span (a context manager); no-op while tracing is off."""
+def span(name: str, remote: SpanContext | None = None, **attrs):
+    """Open a span (a context manager); no-op while tracing is off.
+
+    ``remote`` continues a propagated trace when there is no local
+    parent (see :class:`SpanContext`).
+    """
     if not enabled():
         return NOOP_SPAN
-    return tracer().span(name, **attrs)
+    return tracer().span(name, remote=remote, **attrs)
+
+
+def current_context() -> SpanContext | None:
+    """The calling context's span as a :class:`SpanContext`, if any.
+
+    None while tracing is off or no span is open — callers injecting a
+    ``traceparent`` header simply skip it then.
+    """
+    if not enabled():
+        return None
+    current = tracer().current_span()
+    if current is None or not current.trace_id:
+        return None
+    return current.context
 
 
 @contextlib.contextmanager

@@ -1,0 +1,258 @@
+"""Bench regression gating: diff a bench run against a baseline.
+
+``python -m repro bench --check BENCH_pr8.json`` compares the current
+run's JSON payload (the ``--format json`` document) against a committed
+baseline and exits nonzero on regression, so the BENCH_*.json
+trajectory the ROADMAP tracks is watched by CI instead of by eyeball.
+
+What gates vs. what informs:
+
+* **Correctness cells** gate hard: a (benchmark, machine, scheme) cell
+  whose ``ok`` count dropped, whose ``failed``/``timeout`` counts rose,
+  or which disappeared from the current run is always a regression —
+  no tolerance applies to compiling fewer loops.
+* **IPC** gates with tolerance: a cell's IPC more than ``tolerance``
+  below baseline regresses (IPC is deterministic for a fixed seed, so
+  the tolerance only absorbs intentional scheme evolution).
+* **Per-stage compile seconds** gate with tolerance *and* an absolute
+  noise floor: a stage regresses only when it is both ``tolerance``
+  slower relative to baseline and more than :data:`NOISE_FLOOR_SECONDS`
+  slower absolutely — sub-millisecond stages jitter far beyond any
+  sane percentage on shared CI runners.
+* **Counters and elapsed wall time** are informational: large swings
+  are listed in the delta table but never fail the check (counters
+  move with every optimization PR by design; total wall time is a
+  property of the runner).
+
+Both payloads must come from comparable invocations (same benchmarks,
+machines, schemes, loop limit); comparing different matrices reports
+the missing cells as regressions, which is the honest answer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.pipeline.report import format_table
+
+#: Absolute per-stage slowdown (seconds) below which a relative
+#: regression is considered runner noise, not a real slowdown.
+NOISE_FLOOR_SECONDS = 0.005
+
+#: Relative swing above which an informational metric is worth listing.
+_INFO_SWING = 0.10
+
+
+@dataclasses.dataclass(frozen=True)
+class Delta:
+    """One compared quantity: baseline vs. current, verdict attached."""
+
+    kind: str  # "cell" | "ipc" | "stage" | "counter" | "elapsed"
+    name: str
+    baseline: float
+    current: float
+    regression: bool
+    note: str = ""
+
+    @property
+    def change(self) -> float:
+        """Relative change (current vs. baseline), 0.0 when both zero."""
+        if self.baseline == 0.0:
+            return 0.0 if self.current == 0.0 else float("inf")
+        return self.current / self.baseline - 1.0
+
+
+@dataclasses.dataclass
+class RegressionReport:
+    """Every compared quantity plus the overall verdict."""
+
+    deltas: list[Delta]
+    tolerance: float
+
+    @property
+    def regressions(self) -> list[Delta]:
+        return [delta for delta in self.deltas if delta.regression]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def table(self) -> str:
+        """The delta table (regressions first, then notable changes)."""
+        listed = self.regressions + [
+            delta
+            for delta in self.deltas
+            if not delta.regression
+            and (
+                abs(delta.change) > _INFO_SWING
+                or delta.baseline != delta.current
+            )
+        ]
+        if not listed:
+            listed = self.deltas
+        rows = []
+        for delta in listed:
+            change = delta.change
+            change_text = (
+                f"{100.0 * change:+.1f}%" if change != float("inf") else "new"
+            )
+            rows.append(
+                [
+                    "REGRESSION" if delta.regression else "info",
+                    delta.kind,
+                    delta.name,
+                    f"{delta.baseline:g}",
+                    f"{delta.current:g}",
+                    change_text,
+                    delta.note,
+                ]
+            )
+        title = (
+            f"bench check: {len(self.regressions)} regression(s), "
+            f"tolerance {100.0 * self.tolerance:g}%"
+        )
+        return format_table(
+            ["verdict", "kind", "name", "baseline", "current", "change", "note"],
+            rows,
+            title=title,
+        )
+
+
+def _cell_key(cell: dict) -> str:
+    return f"{cell.get('benchmark')}/{cell.get('machine')}/{cell.get('scheme')}"
+
+
+def compare_bench(
+    current: dict, baseline: dict, tolerance: float = 0.2
+) -> RegressionReport:
+    """Diff two bench JSON payloads; see the module docstring for rules.
+
+    Args:
+        current: this run's ``repro bench --format json`` document.
+        baseline: the committed baseline document (same shape).
+        tolerance: relative slack for IPC drops and stage slowdowns
+            (0.2 = 20%).
+    """
+    deltas: list[Delta] = []
+
+    current_cells = {_cell_key(cell): cell for cell in current.get("cells", [])}
+    for cell in baseline.get("cells", []):
+        key = _cell_key(cell)
+        now = current_cells.get(key)
+        if now is None:
+            deltas.append(
+                Delta(
+                    kind="cell",
+                    name=key,
+                    baseline=float(cell.get("ok", 0)),
+                    current=0.0,
+                    regression=True,
+                    note="cell missing from current run",
+                )
+            )
+            continue
+        for field, worse_when in (("ok", "lower"), ("failed", "higher"),
+                                  ("timeout", "higher")):
+            base_value = float(cell.get(field, 0))
+            now_value = float(now.get(field, 0))
+            if worse_when == "lower":
+                regressed = now_value < base_value
+            else:
+                regressed = now_value > base_value
+            if regressed or base_value != now_value:
+                deltas.append(
+                    Delta(
+                        kind="cell",
+                        name=f"{key}.{field}",
+                        baseline=base_value,
+                        current=now_value,
+                        regression=regressed,
+                        note="loops must keep compiling" if regressed else "",
+                    )
+                )
+        base_ipc = float(cell.get("ipc", 0.0))
+        now_ipc = float(now.get("ipc", 0.0))
+        ipc_regressed = base_ipc > 0 and now_ipc < base_ipc * (1.0 - tolerance)
+        if ipc_regressed or abs(now_ipc - base_ipc) > 1e-9:
+            deltas.append(
+                Delta(
+                    kind="ipc",
+                    name=key,
+                    baseline=round(base_ipc, 4),
+                    current=round(now_ipc, 4),
+                    regression=ipc_regressed,
+                    note=f"> {100.0 * tolerance:g}% IPC drop"
+                    if ipc_regressed
+                    else "",
+                )
+            )
+
+    current_stages = current.get("stages", {})
+    for stage, base_stage in baseline.get("stages", {}).items():
+        base_seconds = float(base_stage.get("seconds", 0.0))
+        now_stage = current_stages.get(stage)
+        if now_stage is None:
+            # A stage vanishing is a pipeline restructure, not a perf
+            # regression — report it, let a human decide.
+            deltas.append(
+                Delta(
+                    kind="stage",
+                    name=stage,
+                    baseline=base_seconds,
+                    current=0.0,
+                    regression=False,
+                    note="stage absent from current run",
+                )
+            )
+            continue
+        now_seconds = float(now_stage.get("seconds", 0.0))
+        slower = now_seconds - base_seconds
+        regressed = (
+            now_seconds > base_seconds * (1.0 + tolerance)
+            and slower > NOISE_FLOOR_SECONDS
+        )
+        deltas.append(
+            Delta(
+                kind="stage",
+                name=f"{stage}.seconds",
+                baseline=round(base_seconds, 6),
+                current=round(now_seconds, 6),
+                regression=regressed,
+                note=f"> {100.0 * tolerance:g}% + {NOISE_FLOOR_SECONDS * 1e3:g}ms slower"
+                if regressed
+                else "",
+            )
+        )
+
+    current_counters = current.get("counters", {})
+    for name, base_value in baseline.get("counters", {}).items():
+        now_value = float(current_counters.get(name, 0.0))
+        base_value = float(base_value)
+        if base_value == now_value:
+            continue
+        deltas.append(
+            Delta(
+                kind="counter",
+                name=name,
+                baseline=base_value,
+                current=now_value,
+                regression=False,
+                note="informational",
+            )
+        )
+
+    base_elapsed = float(baseline.get("elapsed_seconds", 0.0))
+    now_elapsed = float(current.get("elapsed_seconds", 0.0))
+    if base_elapsed or now_elapsed:
+        deltas.append(
+            Delta(
+                kind="elapsed",
+                name="elapsed_seconds",
+                baseline=round(base_elapsed, 3),
+                current=round(now_elapsed, 3),
+                regression=False,
+                note="informational",
+            )
+        )
+
+    return RegressionReport(deltas=deltas, tolerance=tolerance)

@@ -4,6 +4,12 @@ Used by the smoke checks, the test suite, and anyone scripting against
 a server without wanting to hand-roll ``http.client`` calls. One
 connection per request (the server closes after every response), so a
 client object is cheap and thread-safe to share.
+
+When tracing is on, every call runs under a ``client.request`` span
+and ships its context in a ``traceparent`` header (see
+:mod:`repro.obs.propagate`), so the server's ``serve.request`` span —
+and everything under it, down to the shipped worker spans — joins the
+client's trace.
 """
 
 from __future__ import annotations
@@ -14,6 +20,8 @@ import time
 import urllib.parse
 
 from repro.engine.jobs import CompileJob
+from repro.obs import spans as obs
+from repro.obs.propagate import TRACEPARENT_HEADER, format_traceparent
 from repro.serve.server import CLIENT_HEADER
 
 
@@ -46,6 +54,13 @@ class ServeClient:
         self.client_id = client_id
         self.timeout = timeout
 
+    def _headers(self, span) -> dict[str, str]:
+        """Base headers: client identity + trace propagation."""
+        headers = {CLIENT_HEADER: self.client_id}
+        if span.trace_id:
+            headers[TRACEPARENT_HEADER] = format_traceparent(span.context)
+        return headers
+
     def _request(
         self, method: str, path: str, body: dict | None = None
     ) -> tuple[int, dict]:
@@ -53,13 +68,17 @@ class ServeClient:
             self.host, self.port, timeout=self.timeout
         )
         try:
-            payload = json.dumps(body).encode("utf-8") if body is not None else None
-            headers = {CLIENT_HEADER: self.client_id}
-            if payload is not None:
-                headers["Content-Type"] = "application/json"
-            connection.request(method, path, body=payload, headers=headers)
-            response = connection.getresponse()
-            raw = response.read()
+            with obs.span("client.request", method=method, path=path) as span:
+                payload = (
+                    json.dumps(body).encode("utf-8") if body is not None else None
+                )
+                headers = self._headers(span)
+                if payload is not None:
+                    headers["Content-Type"] = "application/json"
+                connection.request(method, path, body=payload, headers=headers)
+                response = connection.getresponse()
+                raw = response.read()
+                span.set(status=response.status)
             try:
                 decoded = json.loads(raw.decode("utf-8")) if raw else {}
             except ValueError:
@@ -83,6 +102,28 @@ class ServeClient:
         if status != 200:
             raise ServeError(status, payload)
         return payload
+
+    def metrics(self) -> str:
+        """``GET /metrics`` — raw Prometheus text exposition.
+
+        Parse with :func:`repro.obs.prometheus.parse_exposition`.
+        """
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            with obs.span("client.request", method="GET", path="/metrics") as span:
+                connection.request("GET", "/metrics", headers=self._headers(span))
+                response = connection.getresponse()
+                raw = response.read()
+                span.set(status=response.status)
+            if response.status != 200:
+                raise ServeError(
+                    response.status, {"raw": raw.decode("utf-8", "replace")}
+                )
+            return raw.decode("utf-8")
+        finally:
+            connection.close()
 
     def try_submit(self, job: CompileJob) -> tuple[int, dict]:
         """Submit by content; returns (status, body) without raising.
@@ -130,10 +171,14 @@ class ServeClient:
             self.host, self.port, timeout=self.timeout
         )
         try:
-            connection.request(
-                "GET", f"/jobs/{key}/events", headers={CLIENT_HEADER: self.client_id}
-            )
-            response = connection.getresponse()
+            with obs.span(
+                "client.request", method="GET", path=f"/jobs/{key[:12]}/events"
+            ) as span:
+                connection.request(
+                    "GET", f"/jobs/{key}/events", headers=self._headers(span)
+                )
+                response = connection.getresponse()
+                span.set(status=response.status)
             if response.status != 200:
                 raw = response.read()
                 try:

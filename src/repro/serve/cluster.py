@@ -205,6 +205,7 @@ def run_smoke(executor: str = "thread", quiet: bool = False) -> int:
     """
     from repro.engine.fingerprint import result_fingerprint
     from repro.machine.config import parse_config
+    from repro.obs.prometheus import parse_exposition, validate_exposition
     from repro.pipeline.driver import Scheme, compile_loop
     from repro.serve.client import ServeClient
     from repro.workloads.patterns import daxpy
@@ -240,6 +241,11 @@ def run_smoke(executor: str = "thread", quiet: bool = False) -> int:
                 daxpy(), parse_config(machine), scheme=Scheme.REPLICATION
             )
             expected = result_fingerprint(local)
+            exposition = client.metrics()
+            problems = validate_exposition(exposition)
+            samples = parse_exposition(exposition) if not problems else {}
+            stats = client.stats()
+            request_seconds = stats["metrics"].get("serve.http.request_seconds", {})
             checks = {
                 "outcome ok": done.get("outcome") == "ok",
                 "fingerprint matches local compile": done.get("fingerprint")
@@ -248,7 +254,19 @@ def run_smoke(executor: str = "thread", quiet: bool = False) -> int:
                 and events[-1]["kind"] in ("finished", "cache_hit"),
                 "resubmit hits the cache/records": client.submit(job)["status"]
                 == "done",
-                "stats respond": client.stats()["ring"]["shards"] == 1,
+                "stats respond": stats["ring"]["shards"] == 1,
+                "stats metrics are typed": request_seconds.get("type")
+                == "histogram"
+                and len(request_seconds.get("counts", [])) > 0,
+                "/metrics is valid Prometheus text": not problems,
+                "/metrics counts requests": samples.get(
+                    "repro_serve_http_requests_total", 0.0
+                )
+                > 0,
+                "/metrics has latency buckets": any(
+                    key.startswith("repro_serve_http_request_seconds_bucket")
+                    for key in samples
+                ),
             }
         for name, passed in checks.items():
             say(f"  [{'ok' if passed else 'FAIL'}] {name}")

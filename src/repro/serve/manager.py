@@ -42,8 +42,13 @@ from repro.engine.executor import (
 from repro.engine.fingerprint import result_fingerprint
 from repro.engine.jobs import CompileJob, ErrorKind, JobResult, Outcome
 from repro.obs import spans as obs
+from repro.obs.log import get_logger
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.propagate import format_traceparent
+from repro.obs.spans import SpanContext
 from repro.serve.admission import AdmissionController, AdmissionDecision
+
+_log = get_logger("serve")
 
 
 class JobStatus(enum.Enum):
@@ -68,6 +73,14 @@ class JobRecord:
     status: JobStatus
     submitted_at: float
     result: JobResult | None = None
+    # The submitting request's span context (None when tracing is off
+    # or the submission came from outside any span): the ``serve.job``
+    # span parents under it, stitching the job into the caller's trace.
+    ctx: SpanContext | None = None
+    # Trace position stamped onto this record's events (the NDJSON
+    # stream): the serve.job span once running, else the submit context.
+    trace: str = ""
+    span: int = 0
     events: list[Event] = dataclasses.field(default_factory=list)
     done: asyncio.Event = dataclasses.field(default_factory=asyncio.Event)
     # Chained notification: every event replaces ``update`` with a fresh
@@ -83,6 +96,8 @@ class JobRecord:
             "status": self.status.value,
             "submitted_at": round(self.submitted_at, 6),
         }
+        if self.trace:
+            payload["trace"] = self.trace
         if self.result is not None:
             res = self.result
             payload["outcome"] = res.outcome.value
@@ -181,6 +196,7 @@ class JobManager:
         decision = self.admission.admit(client)
         if not decision.admitted:
             return None, decision
+        ctx = obs.current_context()
         record = JobRecord(
             key=key,
             tag=job.tag,
@@ -188,6 +204,9 @@ class JobManager:
             wire=job.to_wire(),
             status=JobStatus.QUEUED,
             submitted_at=time.time(),
+            ctx=ctx,
+            trace=ctx.trace_id if ctx else "",
+            span=ctx.span_id if ctx else 0,
         )
         self.records[key] = record
         self._scoped.counter("submitted").inc()
@@ -199,6 +218,7 @@ class JobManager:
     def _record_cache_hit(
         self, key: str, tag: str, client: str, wire, result
     ) -> JobRecord:
+        ctx = obs.current_context()
         record = JobRecord(
             key=key,
             tag=tag,
@@ -209,6 +229,9 @@ class JobManager:
             result=JobResult(
                 key=key, tag=tag, outcome=Outcome.OK, result=result, cached=True
             ),
+            ctx=ctx,
+            trace=ctx.trace_id if ctx else "",
+            span=ctx.span_id if ctx else 0,
         )
         self.records[key] = record
         self._scoped.counter("cache_hits").inc()
@@ -220,6 +243,20 @@ class JobManager:
 
     async def _run(self, record: JobRecord) -> None:
         record.status = JobStatus.RUNNING
+        # The serve.job span: child of the submitting serve.request
+        # span (still open in this task's copied contextvars context —
+        # create_task snapshots it — with record.ctx as the cross-call
+        # fallback), parent of the worker's engine.job span.
+        job_span = obs.span(
+            "serve.job", remote=record.ctx, tag=record.tag, key=record.key[:12]
+        )
+        job_span.__enter__()
+        if job_span.trace_id:
+            record.trace = job_span.trace_id
+            record.span = job_span.span_id
+        traceparent = (
+            format_traceparent(job_span.context) if job_span.trace_id else None
+        )
         self._emit(
             record, Event(kind=EventKind.STARTED, key=record.key, tag=record.tag)
         )
@@ -227,9 +264,15 @@ class JobManager:
         started = time.perf_counter()
         try:
             result = await loop.run_in_executor(
-                self._pool, self._runner, record.wire, record.key, self.timeout
+                self._pool,
+                self._runner,
+                record.wire,
+                record.key,
+                self.timeout,
+                traceparent,
             )
         except BrokenProcessPool:
+            _log.error("worker process died", key=record.key[:12], tag=record.tag)
             result = JobResult(
                 key=record.key,
                 tag=record.tag,
@@ -248,10 +291,15 @@ class JobManager:
                 duration=time.perf_counter() - started,
             )
         if result.spans:
-            # Process-pool workers ship their span trees back; re-root
-            # them in this process's tracer (parentless: the request
-            # span that caused them is long closed).
-            obs.tracer().adopt(result.spans, parent_id=None)
+            # Process-pool workers ship their span trees back; re-parent
+            # them under the serve.job span so the whole request is one
+            # stitched trace. (Workers given a traceparent already stamp
+            # the right trace id; trace_id= covers those that weren't.)
+            obs.tracer().adopt(
+                result.spans,
+                parent_id=job_span.span_id or None,
+                trace_id=job_span.trace_id,
+            )
             result.spans = []
         if result.ok:
             self.cache.put(record.key, result.result)
@@ -259,6 +307,8 @@ class JobManager:
         record.status = JobStatus.DONE
         self._scoped.counter("compiled").inc()
         self._scoped.histogram("job_seconds").observe(result.duration)
+        job_span.set(outcome=result.outcome.value)
+        job_span.finish(error=not result.ok)
         self._emit(record, event_for_result(result))
         self.admission.release(record.client)
         record.done.set()
@@ -266,6 +316,12 @@ class JobManager:
     def _emit(self, record: JobRecord, event: Event) -> None:
         if event.timestamp == 0.0:
             event = dataclasses.replace(event, timestamp=time.time())
+        if record.trace and not event.trace:
+            # Stamp the record's trace position so NDJSON streams can
+            # be joined against the trace that produced them.
+            event = dataclasses.replace(
+                event, trace=record.trace, span=record.span
+            )
         record.events.append(event)
         self.bus.emit(event)
         previous = record.update

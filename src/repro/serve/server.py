@@ -16,10 +16,18 @@ install. Endpoints:
 * ``GET /jobs/<key>/events`` — the job's engine event stream as NDJSON:
   full history first, then live events until the job is terminal.
 * ``GET /healthz`` — liveness (+ drain state).
-* ``GET /stats`` — queue depth, shard/cache stats, metrics snapshot.
+* ``GET /stats`` — queue depth, shard/cache stats, and a typed metrics
+  export (histograms keep their buckets and carry p50/p95/p99).
+* ``GET /metrics`` — the same registry in Prometheus text exposition
+  format (see :mod:`repro.obs.prometheus`), scrapable by any
+  Prometheus-compatible collector.
 
-Every request runs under a ``serve.request`` span, so ``REPRO_TRACE``
-and ``repro trace`` work against a server with no extra setup.
+Every request runs under a ``serve.request`` span; when the caller
+sent a ``traceparent`` header (see :mod:`repro.obs.propagate`) the
+span continues the caller's trace, so a client-side span, the server's
+request handling, and the shipped worker spans stitch into one trace.
+Request latency, per-status counts and in-flight depth are recorded
+under the ``serve.http`` metrics scope whether or not tracing is on.
 
 Clients identify themselves with the ``X-Repro-Client`` header (used
 for per-client in-flight caps); anonymous requests share one bucket.
@@ -31,14 +39,20 @@ import asyncio
 import dataclasses
 import json
 import pathlib
+import time
 
 from repro.engine.cache import cache_root
 from repro.engine.events import EventBus
 from repro.obs import spans as obs
+from repro.obs.log import get_logger
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.prometheus import render_exposition
+from repro.obs.propagate import TRACEPARENT_HEADER, parse_traceparent
 from repro.serve.admission import AdmissionController
 from repro.serve.manager import JobManager
 from repro.serve.shards import ShardedCache
+
+_log = get_logger("serve")
 
 #: Largest accepted request body (a wire-format DDG is a few KiB).
 MAX_BODY_BYTES = 16 * 1024 * 1024
@@ -133,6 +147,7 @@ class ServeServer:
         self.host = host
         self.port = port
         self._server: asyncio.AbstractServer | None = None
+        self._http = manager.metrics.scoped("serve.http")
 
     async def start(self) -> None:
         """Bind and begin accepting (port 0 picks an ephemeral port)."""
@@ -163,6 +178,7 @@ class ServeServer:
         except (ConnectionError, asyncio.IncompleteReadError):
             pass  # client went away mid-request/response
         except Exception as exc:
+            _log.error("request handler failed", error=f"{type(exc).__name__}: {exc}")
             try:
                 await _respond(writer, 500, {"error": f"{type(exc).__name__}: {exc}"})
             except ConnectionError:
@@ -198,9 +214,23 @@ class ServeServer:
             return
         body = await reader.readexactly(length) if length else b""
         client = headers.get(CLIENT_HEADER, "")
-        with obs.span("serve.request", method=method, path=path) as span:
-            status = await self._route(method, path, body, client, writer)
-            span.set(status=status)
+        remote = parse_traceparent(headers.get(TRACEPARENT_HEADER))
+        self._http.counter("requests").inc()
+        inflight = self._http.gauge("inflight")
+        inflight.set(inflight.value + 1)
+        started = time.perf_counter()
+        try:
+            with obs.span(
+                "serve.request", remote=remote, method=method, path=path
+            ) as span:
+                status = await self._route(method, path, body, client, writer)
+                span.set(status=status)
+            self._http.counter(f"status.{status}").inc()
+        finally:
+            inflight.set(inflight.value - 1)
+            self._http.histogram("request_seconds").observe(
+                time.perf_counter() - started
+            )
 
     async def _route(
         self,
@@ -215,6 +245,10 @@ class ServeServer:
             return await _respond(writer, 200, {"status": state})
         if path == "/stats" and method == "GET":
             return await _respond(writer, 200, self._stats_payload())
+        if path == "/metrics" and method == "GET":
+            return await _respond_text(
+                writer, 200, render_exposition(self.manager.metrics)
+            )
         if path == "/jobs":
             if method != "POST":
                 return await _respond(writer, 405, {"error": "POST /jobs"})
@@ -320,11 +354,34 @@ class ServeServer:
                 "vnodes": self.cache.ring.vnodes,
             },
             "shards": shards,
+            # Typed export (not snapshot()): histograms keep their
+            # bucket vectors and precomputed p50/p95/p99 instead of
+            # being flattened to count/sum/max scalars.
             "metrics": {
-                name: round(value, 6)
-                for name, value in sorted(self.manager.metrics.snapshot().items())
+                name: record
+                for name, record in sorted(self.manager.metrics.export().items())
             },
         }
+
+
+async def _respond_text(
+    writer: asyncio.StreamWriter,
+    status: int,
+    text: str,
+    content_type: str = "text/plain; version=0.0.4; charset=utf-8",
+) -> int:
+    """Write one plain-text response (the ``/metrics`` exposition)."""
+    body = text.encode("utf-8")
+    reason = _REASONS.get(status, "Unknown")
+    head = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body)
+    await writer.drain()
+    return status
 
 
 async def _respond(

@@ -1,0 +1,93 @@
+"""The Prometheus text exposition: render, parse, validate."""
+
+import math
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prometheus import (
+    metric_name,
+    parse_exposition,
+    render_exposition,
+    validate_exposition,
+)
+
+
+def _populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("serve.cache_hits").inc(7)
+    registry.gauge("admission.queue_depth").set(3)
+    histogram = registry.histogram("serve.http.request_seconds")
+    for value in (0.0005, 0.002, 0.002, 0.4, 12.0):
+        histogram.observe(value)
+    return registry
+
+
+class TestRender:
+    def test_counter_gets_total_suffix_and_type_line(self):
+        text = render_exposition(_populated_registry())
+        assert "# TYPE repro_serve_cache_hits_total counter" in text
+        assert "repro_serve_cache_hits_total 7" in text
+
+    def test_gauge(self):
+        text = render_exposition(_populated_registry())
+        assert "# TYPE repro_admission_queue_depth gauge" in text
+        assert "repro_admission_queue_depth 3" in text
+
+    def test_histogram_buckets_are_cumulative_and_end_at_inf(self):
+        text = render_exposition(_populated_registry())
+        bucket_lines = [
+            line
+            for line in text.splitlines()
+            if line.startswith("repro_serve_http_request_seconds_bucket")
+        ]
+        counts = [int(line.split()[-1]) for line in bucket_lines]
+        assert counts == sorted(counts), "buckets must be cumulative"
+        assert bucket_lines[-1].startswith(
+            'repro_serve_http_request_seconds_bucket{le="+Inf"}'
+        )
+        assert counts[-1] == 5
+        assert "repro_serve_http_request_seconds_count 5" in text
+
+    def test_name_sanitization(self):
+        assert metric_name("serve.http.request_seconds") == (
+            "repro_serve_http_request_seconds"
+        )
+        assert metric_name("weird-name!x") == "repro_weird_name_x"
+
+    def test_empty_registry_renders_empty(self):
+        assert render_exposition(MetricsRegistry()) == ""
+
+
+class TestParseAndValidate:
+    def test_round_trip(self):
+        registry = _populated_registry()
+        text = render_exposition(registry)
+        assert validate_exposition(text) == []
+        samples = parse_exposition(text)
+        assert samples["repro_serve_cache_hits_total"] == 7.0
+        assert samples["repro_admission_queue_depth"] == 3.0
+        assert samples["repro_serve_http_request_seconds_count"] == 5.0
+        # Histogram buckets keep their le labels as distinct keys.
+        inf_key = 'repro_serve_http_request_seconds_bucket{le="+Inf"}'
+        assert samples[inf_key] == 5.0
+        total = samples["repro_serve_http_request_seconds_sum"]
+        assert math.isclose(total, 0.0005 + 0.002 + 0.002 + 0.4 + 12.0)
+
+    def test_validate_flags_malformed_lines(self):
+        bad = "repro_ok 1\nnot a metric line at all!\n# bogus comment\n"
+        problems = validate_exposition(bad)
+        assert len(problems) == 2
+        assert any("line 2" in p for p in problems)
+        assert any("line 3" in p for p in problems)
+
+    def test_parse_rejects_malformed(self):
+        try:
+            parse_exposition("!!!\n")
+        except ValueError as exc:
+            assert "line 1" in str(exc)
+        else:
+            raise AssertionError("expected ValueError")
+
+    def test_parse_handles_special_values(self):
+        samples = parse_exposition("a_bucket{le=\"+Inf\"} +Inf\nb 2.5e-3\n")
+        assert math.isinf(samples['a_bucket{le="+Inf"}'])
+        assert samples["b"] == 0.0025

@@ -1,0 +1,59 @@
+"""The traceparent codec: format/parse round-trips and rejection."""
+
+import pytest
+
+from repro.obs.propagate import (
+    TRACEPARENT_HEADER,
+    format_traceparent,
+    parse_traceparent,
+)
+from repro.obs.spans import SpanContext, new_trace_id
+
+
+class TestRoundTrip:
+    def test_format_then_parse_is_identity(self):
+        ctx = SpanContext(trace_id=new_trace_id(), span_id=123456789)
+        assert parse_traceparent(format_traceparent(ctx)) == ctx
+
+    def test_header_shape(self):
+        ctx = SpanContext(trace_id="ab" * 16, span_id=255)
+        value = format_traceparent(ctx)
+        version, trace, span, flags = value.split("-")
+        assert version == "00"
+        assert trace == "ab" * 16
+        assert span == f"{255:016x}"
+        assert flags == "01"
+
+    def test_large_span_ids_survive(self):
+        # The tracer draws ids below 2**53; anything up to 64 bits must
+        # round-trip through the 16-hex-char field regardless.
+        for span_id in (1, 2**52 + 17, 2**53 - 1):
+            ctx = SpanContext(trace_id=new_trace_id(), span_id=span_id)
+            assert parse_traceparent(format_traceparent(ctx)) == ctx
+
+    def test_parse_is_case_insensitive(self):
+        ctx = SpanContext(trace_id="0a" * 16, span_id=0xDEAD)
+        assert parse_traceparent(format_traceparent(ctx).upper()) == ctx
+
+
+class TestRejection:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            "",
+            "garbage",
+            "00-zz" + "0" * 30 + "-" + "1" * 16 + "-01",  # non-hex trace
+            "00-" + "a" * 32 + "-" + "b" * 8 + "-01",  # short span id
+            "00-" + "a" * 32 + "-" + "b" * 16,  # missing flags
+            "00-" + "0" * 32 + "-" + "b" * 16 + "-01",  # all-zero trace
+            "00-" + "a" * 32 + "-" + "0" * 16 + "-01",  # all-zero span
+        ],
+    )
+    def test_malformed_yields_none(self, value):
+        assert parse_traceparent(value) is None
+
+    def test_header_name_is_lowercase(self):
+        # The server lowercases header names while parsing; the
+        # constant must already be in that form to match.
+        assert TRACEPARENT_HEADER == TRACEPARENT_HEADER.lower()

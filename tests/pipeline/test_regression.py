@@ -1,0 +1,149 @@
+"""Bench regression gating: parity passes, injected regressions fail."""
+
+import copy
+
+from repro.pipeline.regression import NOISE_FLOOR_SECONDS, compare_bench
+
+
+def _payload() -> dict:
+    return {
+        "cells": [
+            {
+                "benchmark": "tomcatv",
+                "machine": "4c1b2l64r",
+                "scheme": "baseline",
+                "loops": 4,
+                "ok": 4,
+                "failed": 0,
+                "timeout": 0,
+                "ipc": 4.34,
+            },
+            {
+                "benchmark": "tomcatv",
+                "machine": "4c1b2l64r",
+                "scheme": "replication",
+                "loops": 4,
+                "ok": 4,
+                "failed": 0,
+                "timeout": 0,
+                "ipc": 5.10,
+            },
+        ],
+        "stages": {
+            "partition": {"seconds": 1.0, "p50_seconds": 0.005},
+            "schedule": {"seconds": 0.25, "p50_seconds": 0.001},
+            "feasibility": {"seconds": 0.001, "p50_seconds": 0.0001},
+        },
+        "counters": {"partition.moves_applied": 1000.0},
+        "elapsed_seconds": 1.5,
+        "jobs": 8,
+    }
+
+
+class TestParity:
+    def test_identical_payloads_pass(self):
+        report = compare_bench(_payload(), _payload(), tolerance=0.2)
+        assert report.ok
+        assert report.regressions == []
+
+    def test_small_swings_within_tolerance_pass(self):
+        current = _payload()
+        current["stages"]["partition"]["seconds"] = 1.1  # +10% < 20%
+        current["cells"][0]["ipc"] = 4.0  # -8% < 20%
+        report = compare_bench(current, _payload(), tolerance=0.2)
+        assert report.ok
+
+    def test_improvements_pass(self):
+        current = _payload()
+        current["stages"]["partition"]["seconds"] = 0.5
+        current["cells"][0]["ipc"] = 9.0
+        assert compare_bench(current, _payload(), tolerance=0.2).ok
+
+
+class TestRegressions:
+    def test_ok_count_drop_always_fails(self):
+        current = _payload()
+        current["cells"][0]["ok"] = 3
+        current["cells"][0]["failed"] = 1
+        report = compare_bench(current, _payload(), tolerance=0.9)
+        assert not report.ok
+        names = {delta.name for delta in report.regressions}
+        assert "tomcatv/4c1b2l64r/baseline.ok" in names
+        assert "tomcatv/4c1b2l64r/baseline.failed" in names
+
+    def test_timeout_increase_fails(self):
+        current = _payload()
+        current["cells"][1]["timeout"] = 2
+        assert not compare_bench(current, _payload(), tolerance=0.9).ok
+
+    def test_missing_cell_fails(self):
+        current = _payload()
+        del current["cells"][1]
+        report = compare_bench(current, _payload(), tolerance=0.2)
+        assert not report.ok
+        assert any(
+            "missing" in delta.note for delta in report.regressions
+        )
+
+    def test_ipc_drop_beyond_tolerance_fails(self):
+        current = _payload()
+        current["cells"][0]["ipc"] = 4.34 * 0.7  # -30% > 20%
+        report = compare_bench(current, _payload(), tolerance=0.2)
+        assert not report.ok
+        assert any(delta.kind == "ipc" for delta in report.regressions)
+
+    def test_stage_slowdown_beyond_tolerance_fails(self):
+        current = _payload()
+        current["stages"]["partition"]["seconds"] = 1.5  # +50%, +500ms
+        report = compare_bench(current, _payload(), tolerance=0.2)
+        assert not report.ok
+        assert any(
+            delta.name == "partition.seconds" for delta in report.regressions
+        )
+
+    def test_sub_noise_floor_slowdown_passes(self):
+        current = _payload()
+        # 5x slower relatively, but only 4ms absolute — runner noise.
+        base = _payload()
+        base["stages"]["feasibility"]["seconds"] = 0.001
+        current["stages"]["feasibility"]["seconds"] = (
+            0.001 + NOISE_FLOOR_SECONDS * 0.8
+        )
+        assert compare_bench(current, base, tolerance=0.2).ok
+
+
+class TestInformational:
+    def test_counters_never_gate(self):
+        current = _payload()
+        current["counters"]["partition.moves_applied"] = 1e9
+        report = compare_bench(current, _payload(), tolerance=0.2)
+        assert report.ok
+        assert any(delta.kind == "counter" for delta in report.deltas)
+
+    def test_elapsed_never_gates(self):
+        current = _payload()
+        current["elapsed_seconds"] = 100.0
+        assert compare_bench(current, _payload(), tolerance=0.2).ok
+
+    def test_vanished_stage_is_reported_not_gated(self):
+        current = _payload()
+        del current["stages"]["schedule"]
+        report = compare_bench(current, _payload(), tolerance=0.2)
+        assert report.ok
+        assert any("absent" in delta.note for delta in report.deltas)
+
+
+class TestTable:
+    def test_table_lists_regressions_first(self):
+        current = copy.deepcopy(_payload())
+        current["cells"][0]["ok"] = 0
+        current["cells"][0]["failed"] = 4
+        report = compare_bench(current, _payload(), tolerance=0.2)
+        text = report.table()
+        assert "REGRESSION" in text
+        first_data_line = text.splitlines()[4]
+        assert first_data_line.startswith("REGRESSION")
+
+    def test_parity_table_is_renderable(self):
+        report = compare_bench(_payload(), _payload(), tolerance=0.2)
+        assert "0 regression(s)" in report.table()

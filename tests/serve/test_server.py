@@ -142,6 +142,46 @@ class TestProtocolErrors:
         assert {shard["id"] for shard in stats["shards"]} == {0, 1}
 
 
+class TestObservabilityEndpoints:
+    def test_stats_metrics_are_typed(self, client):
+        client.health()  # at least one observed request before reading
+        metrics = client.stats()["metrics"]
+        assert metrics, "serve.http instruments register on first request"
+        assert all("type" in entry for entry in metrics.values())
+        histogram = metrics["serve.http.request_seconds"]
+        assert histogram["type"] == "histogram"
+        assert len(histogram["counts"]) == len(histogram["bounds"]) + 1
+        assert histogram["count"] == sum(histogram["counts"])
+        assert histogram["count"] >= 1
+        for quantile in ("p50", "p95", "p99"):
+            assert histogram[quantile] >= 0.0
+        requests = metrics["serve.http.requests"]
+        assert requests == {"type": "counter", "value": requests["value"]}
+
+    def test_metrics_endpoint_is_valid_prometheus_text(self, client):
+        from repro.obs.prometheus import parse_exposition, validate_exposition
+
+        client.health()
+        text = client.metrics()
+        assert validate_exposition(text) == []
+        samples = parse_exposition(text)
+        assert samples["repro_serve_http_requests_total"] >= 1
+        assert any(
+            key.startswith("repro_serve_http_request_seconds_bucket")
+            for key in samples
+        )
+
+    def test_metrics_rejects_post(self, cluster):
+        connection = http.client.HTTPConnection(
+            "127.0.0.1", int(cluster.url.rsplit(":", 1)[1]), timeout=30
+        )
+        try:
+            connection.request("POST", "/metrics")
+            assert connection.getresponse().status == 404
+        finally:
+            connection.close()
+
+
 class TestBackpressure:
     def test_capped_client_gets_429_with_retry_after(self, cluster):
         admission = cluster.manager.admission

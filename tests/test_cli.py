@@ -284,6 +284,35 @@ class TestTrace:
             obs._refresh_from_env()
             obs.tracer().drain()
 
+    def test_crashing_command_still_flushes_the_trace(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        """REPRO_TRACE output survives an unhandled exception."""
+        import repro.cli as cli
+        from repro.obs import spans as obs
+        from repro.obs.export import read_trace
+
+        def boom(ddg, machine, scheme):
+            with obs.span("doomed.pass"):
+                pass
+            raise RuntimeError("kaboom")
+
+        monkeypatch.setattr(cli, "compile_loop", boom)
+        path = tmp_path / "crash.jsonl"
+        monkeypatch.setenv(obs.TRACE_ENV, str(path))
+        obs._refresh_from_env()
+        try:
+            with pytest.raises(RuntimeError, match="kaboom"):
+                main(["compile", "--machine", "2c1b2l64r", "--loop", "daxpy"])
+            err = capsys.readouterr().err
+            assert "wrote" in err and str(path) in err
+            records = read_trace(str(path))
+            assert any(record["name"] == "doomed.pass" for record in records)
+        finally:
+            monkeypatch.delenv(obs.TRACE_ENV)
+            obs._refresh_from_env()
+            obs.tracer().drain()
+
 
 class TestSelfCheck:
     def test_selfcheck_runs_green(self, capsys):
